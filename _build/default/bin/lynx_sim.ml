@@ -1,0 +1,207 @@
+(* lynx_sim — command-line front end for the LYNX reproduction.
+
+   Subcommands:
+     rpc       measure a simple remote operation on one backend
+     scenario  run one of the paper's qualitative scenarios
+     sweep     latency vs payload for two backends (crossover hunting)
+     backends  list available backends *)
+
+open Cmdliner
+
+let backend_conv =
+  let parse s =
+    match Harness.Backend_world.find s with
+    | Some b -> Ok b
+    | None -> Error (`Msg (Printf.sprintf "unknown backend %S" s))
+  in
+  let print ppf (module W : Harness.Backend_world.WORLD) =
+    Format.pp_print_string ppf W.name
+  in
+  Arg.conv (parse, print)
+
+let backend_arg =
+  let doc = "Backend: charlotte, soda or chrysalis." in
+  Arg.(
+    value
+    & opt backend_conv Harness.Backend_world.chrysalis
+    & info [ "b"; "backend" ] ~docv:"BACKEND" ~doc)
+
+let seed_arg =
+  let doc = "Simulation seed (runs are deterministic per seed)." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+(* ---- rpc ------------------------------------------------------------- *)
+
+let rpc_cmd =
+  let payload =
+    Arg.(
+      value & opt int 0
+      & info [ "p"; "payload" ] ~docv:"BYTES" ~doc:"Payload bytes each way.")
+  in
+  let iters =
+    Arg.(
+      value & opt int 30
+      & info [ "n"; "iters" ] ~docv:"N" ~doc:"Measured iterations.")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print counter activity.")
+  in
+  let run (module W : Harness.Backend_world.WORLD) payload iters seed verbose =
+    let r = Harness.Rpc_bench.run (module W) ~payload ~iters ~seed () in
+    Printf.printf
+      "%s: simple remote operation, %d bytes each way, %d iterations\n" W.name
+      payload iters;
+    Printf.printf "  mean %.3f ms   min %.3f ms   max %.3f ms\n"
+      (Sim.Time.to_ms r.Harness.Rpc_bench.r_mean)
+      (Sim.Time.to_ms r.Harness.Rpc_bench.r_min)
+      (Sim.Time.to_ms r.Harness.Rpc_bench.r_max);
+    if verbose then begin
+      print_endline "  counters during the measured phase:";
+      List.iter
+        (fun (k, v) -> Printf.printf "    %-44s %d\n" k v)
+        r.Harness.Rpc_bench.r_counters
+    end
+  in
+  Cmd.v
+    (Cmd.info "rpc" ~doc:"Measure a simple remote operation (paper §3.3/§5.3).")
+    Term.(const run $ backend_arg $ payload $ iters $ seed_arg $ verbose)
+
+(* ---- scenario --------------------------------------------------------- *)
+
+let scenarios =
+  [
+    ("move", `Move);
+    ("enclosures", `Enclosures);
+    ("cross-request", `Cross);
+    ("open-close", `Race);
+    ("lost-enclosure", `Lost);
+  ]
+
+let scenario_cmd =
+  let scenario_name =
+    let doc =
+      "Scenario: move (figure 1), enclosures (figure 2), cross-request \
+       (§3.2.1), open-close (§3.2.1), lost-enclosure (§3.2.2)."
+    in
+    Arg.(
+      required
+      & pos 0 (some (Arg.enum scenarios)) None
+      & info [] ~docv:"SCENARIO" ~doc)
+  in
+  let encl =
+    Arg.(
+      value & opt int 3
+      & info [ "k"; "enclosures" ] ~docv:"K"
+          ~doc:"Enclosure count for the enclosures scenario.")
+  in
+  let run (module W : Harness.Backend_world.WORLD) which encl seed =
+    let o =
+      match which with
+      | `Move -> Harness.Scenarios.simultaneous_move ~seed (module W)
+      | `Enclosures -> Harness.Scenarios.enclosure_protocol ~seed ~n_encl:encl (module W)
+      | `Cross -> Harness.Scenarios.cross_request ~seed (module W)
+      | `Race -> Harness.Scenarios.open_close_race ~seed (module W)
+      | `Lost -> Harness.Scenarios.lost_enclosure ~seed (module W)
+    in
+    Printf.printf "%s: %s (%.2f ms simulated)\n" W.name
+      (if o.Harness.Scenarios.o_ok then "ok" else "FAILED")
+      (Sim.Time.to_ms o.Harness.Scenarios.o_duration);
+    Printf.printf "  detail: %s\n" o.Harness.Scenarios.o_detail;
+    print_endline "  counter activity:";
+    List.iter
+      (fun (k, v) -> if v <> 0 then Printf.printf "    %-44s %d\n" k v)
+      o.Harness.Scenarios.o_counters;
+    if not o.Harness.Scenarios.o_ok then exit 1
+  in
+  Cmd.v
+    (Cmd.info "scenario" ~doc:"Run one of the paper's qualitative scenarios.")
+    Term.(const run $ backend_arg $ scenario_name $ encl $ seed_arg)
+
+(* ---- sweep ------------------------------------------------------------- *)
+
+let sweep_cmd =
+  let lo = Arg.(value & opt int 0 & info [ "from" ] ~docv:"BYTES" ~doc:"Start payload.") in
+  let hi = Arg.(value & opt int 2500 & info [ "to" ] ~docv:"BYTES" ~doc:"End payload.") in
+  let step = Arg.(value & opt int 250 & info [ "step" ] ~docv:"BYTES" ~doc:"Step.") in
+  let run lo hi step seed =
+    let rec payloads p = if p > hi then [] else p :: payloads (p + step) in
+    let rows =
+      List.map
+        (fun p ->
+          let c =
+            Harness.Rpc_bench.mean_ms
+              (Harness.Rpc_bench.run Harness.Backend_world.charlotte ~payload:p ~seed ())
+          in
+          let s =
+            Harness.Rpc_bench.mean_ms
+              (Harness.Rpc_bench.run Harness.Backend_world.soda ~payload:p ~seed ())
+          in
+          let b =
+            Harness.Rpc_bench.mean_ms
+              (Harness.Rpc_bench.run Harness.Backend_world.chrysalis ~payload:p ~seed ())
+          in
+          [
+            string_of_int p;
+            Metrics.Report.ms c;
+            Metrics.Report.ms s;
+            Metrics.Report.ms b;
+          ])
+        (payloads lo)
+    in
+    Metrics.Report.table
+      ~header:[ "payload"; "charlotte"; "soda"; "chrysalis" ]
+      rows
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Latency vs payload on all three backends.")
+    Term.(const run $ lo $ hi $ step $ seed_arg)
+
+(* ---- repair: SODA hint-repair / pair-pressure demonstrations ------------- *)
+
+let repair_cmd =
+  let loss =
+    Arg.(
+      value & opt float 0.05
+      & info [ "loss" ] ~docv:"P" ~doc:"Broadcast loss probability (0..1).")
+  in
+  let run loss seed =
+    let o = Harness.Scenarios.soda_hint_repair ~seed ~broadcast_loss:loss () in
+    Printf.printf "hint repair at %.0f%%%% loss: %s
+" (loss *. 100.)
+      o.Harness.Scenarios.o_detail;
+    Printf.printf "  discover attempts: %d   freeze searches: %d
+"
+      (Harness.Scenarios.counter o "lynx_soda.discover_attempts")
+      (Harness.Scenarios.counter o "lynx_soda.freeze_searches");
+    let budgeted = Harness.Scenarios.soda_pair_pressure ~seed ~budget:true () in
+    let naive = Harness.Scenarios.soda_pair_pressure ~seed ~budget:false () in
+    Printf.printf "pair pressure (6 links): %s  vs naive: %s
+"
+      budgeted.Harness.Scenarios.o_detail naive.Harness.Scenarios.o_detail;
+    if not o.Harness.Scenarios.o_ok then exit 1
+  in
+  Cmd.v
+    (Cmd.info "repair"
+       ~doc:"SODA hint repair under broadcast loss, and the §4.2.1 budget.")
+    Term.(const run $ loss $ seed_arg)
+
+(* ---- backends ------------------------------------------------------------ *)
+
+let backends_cmd =
+  let run () =
+    List.iter
+      (fun (module W : Harness.Backend_world.WORLD) -> print_endline W.name)
+      Harness.Backend_world.all
+  in
+  Cmd.v
+    (Cmd.info "backends" ~doc:"List available backends.")
+    Term.(const run $ const ())
+
+let () =
+  let doc =
+    "Simulators for the three LYNX implementations (Scott, ICPP 1986)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "lynx_sim" ~version:"1.0.0" ~doc)
+          [ rpc_cmd; scenario_cmd; sweep_cmd; repair_cmd; backends_cmd ]))

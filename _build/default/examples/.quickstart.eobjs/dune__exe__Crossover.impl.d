@@ -1,0 +1,1 @@
+examples/crossover.ml: Harness List Metrics Printf

@@ -1,0 +1,1 @@
+examples/crossover.mli:

@@ -1,0 +1,1 @@
+examples/link_passing.ml: Array Harness List Printf Sim String Sys

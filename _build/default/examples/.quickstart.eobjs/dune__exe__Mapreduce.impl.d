@@ -1,0 +1,1 @@
+examples/mapreduce.ml: Array Engine Fun Harness List Lynx Printf Sim Sync Sys Time

@@ -1,0 +1,1 @@
+examples/name_service.ml: Array Engine Harness List Lynx Printf Sim String Sys Time

@@ -1,0 +1,1 @@
+examples/name_service.mli:

@@ -1,0 +1,1 @@
+examples/pipeline.ml: Array Engine Harness List Lynx Printf Sim String Sync Sys Time

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Engine Harness Lynx Printf Sim Sync Sys Time

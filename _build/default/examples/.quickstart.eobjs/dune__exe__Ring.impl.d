@@ -1,0 +1,1 @@
+examples/ring.ml: Array Engine Harness List Lynx Printf Sim Sys Time

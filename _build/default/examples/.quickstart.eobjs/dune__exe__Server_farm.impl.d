@@ -1,0 +1,1 @@
+examples/server_farm.ml: Array Engine Harness List Lynx Printf Sim Stats Sync Sys Time

@@ -1,0 +1,1 @@
+examples/server_farm.mli:

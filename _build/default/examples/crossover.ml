@@ -1,0 +1,47 @@
+(* Crossover: where does SODA stop beating Charlotte?
+
+   Run with:   dune exec examples/crossover.exe
+
+   The paper (§4.3, footnote 2) reports that SODA was three times as
+   fast as Charlotte for small messages, but its 1 Mbit/s network made
+   the two break even "somewhere between 1K and 2K bytes".  This sweep
+   reproduces the crossover with the LYNX runtime on both kernels. *)
+
+let payloads = [ 0; 250; 500; 1000; 1250; 1500; 1750; 2000; 2500 ]
+
+let () =
+  print_endline "RPC latency vs payload (bytes each way), LYNX runtime:";
+  let charlotte = Harness.Backend_world.charlotte in
+  let soda = Harness.Backend_world.soda in
+  let rows =
+    List.map
+      (fun payload ->
+        let c = Harness.Rpc_bench.run charlotte ~payload () in
+        let s = Harness.Rpc_bench.run soda ~payload () in
+        let cm = Harness.Rpc_bench.mean_ms c
+        and sm = Harness.Rpc_bench.mean_ms s in
+        (payload, cm, sm))
+      payloads
+  in
+  Metrics.Report.table
+    ~header:[ "payload"; "charlotte"; "soda"; "winner" ]
+    (List.map
+       (fun (p, cm, sm) ->
+         [
+           string_of_int p;
+           Metrics.Report.ms cm;
+           Metrics.Report.ms sm;
+           (if sm < cm then "soda" else "charlotte");
+         ])
+       rows);
+  (* Locate the crossover. *)
+  let rec find = function
+    | (p1, c1, s1) :: ((p2, c2, s2) :: _ as rest) ->
+      if s1 < c1 && s2 >= c2 then Some (p1, p2) else find rest
+    | _ -> None
+  in
+  match find rows with
+  | Some (lo, hi) ->
+    Printf.printf
+      "crossover between %d and %d bytes (paper: between 1K and 2K)\n" lo hi
+  | None -> print_endline "no crossover found in the sweep range"

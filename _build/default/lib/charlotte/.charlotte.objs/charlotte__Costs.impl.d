@@ -1,0 +1,1 @@
+lib/charlotte/costs.ml: Sim

@@ -1,0 +1,1 @@
+lib/charlotte/kernel.ml: Array Bytes Costs Engine Hashtbl List Netmodel Printf Sim Stats Sync Time Types

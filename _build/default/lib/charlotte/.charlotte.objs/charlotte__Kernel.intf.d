@@ -1,0 +1,1 @@
+lib/charlotte/kernel.mli: Costs Sim Types

@@ -1,0 +1,1 @@
+lib/charlotte/types.ml: Format

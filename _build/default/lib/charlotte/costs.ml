@@ -1,0 +1,38 @@
+(** Cost model for the Charlotte kernel on Crystal (VAX 11/750 nodes,
+    10 Mbit/s Proteon ring).
+
+    Calibration (paper §3.3): a C program making the kernel calls of a
+    simple remote operation takes 55 ms with no data and 60 ms with
+    1000 bytes of parameters in each direction.
+
+    Decomposition used here, per one-way message: the critical path is
+    the sender's [Send] call ([call_cpu] = 1.5 ms) followed by the
+    kernel-to-kernel transfer ([msg_fixed] = 26 ms plus 2.5 us/byte);
+    the other kernel calls ([Wait], the receiver's [Receive] repost)
+    overlap with the reverse transfer in steady state.
+
+    Round trip = 2 x (1.5 + 26) = 55 ms; adding 2 x 1000 bytes at
+    2.5 us/byte gives 60 ms — matching both paper numbers. *)
+
+type t = {
+  call_cpu : Sim.Time.t;  (** CPU charged to the caller per kernel call *)
+  msg_fixed : Sim.Time.t;  (** fixed kernel+wire cost per message *)
+  per_byte : Sim.Time.t;  (** per payload byte (kernel copy + wire) *)
+  move_extra : Sim.Time.t;
+      (** extra cost of the kernel's three-party link-move agreement
+          protocol, charged per enclosure (paper §6, lesson one) *)
+  move_protocol_msgs : int;
+      (** control messages the real kernel exchanges per moved end *)
+}
+
+let default =
+  {
+    call_cpu = Sim.Time.of_ms_float 1.5;
+    msg_fixed = Sim.Time.of_ms_float 26.0;
+    per_byte = Sim.Time.of_us_float 2.5;
+    move_extra = Sim.Time.of_ms_float 6.0;
+    move_protocol_msgs = 3;
+  }
+
+let transfer_time t ~bytes =
+  Sim.Time.add t.msg_fixed (Sim.Time.scale t.per_byte bytes)

@@ -1,0 +1,1 @@
+lib/chrysalis/costs.ml: Sim

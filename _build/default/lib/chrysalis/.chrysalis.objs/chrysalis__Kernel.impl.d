@@ -1,0 +1,1 @@
+lib/chrysalis/kernel.ml: Bytes Char Costs Engine Hashtbl List Netmodel Option Printf Queue Sim Stats Types

@@ -1,0 +1,1 @@
+lib/chrysalis/kernel.mli: Costs Sim Types

@@ -1,0 +1,1 @@
+lib/chrysalis/types.ml:

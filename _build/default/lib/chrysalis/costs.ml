@@ -1,0 +1,43 @@
+(** Cost model for Chrysalis primitives on the BBN Butterfly (68000
+    processors behind a 4-ary multistage switch).
+
+    Calibration targets (paper §5.3): a simple LYNX remote operation takes
+    about 2.4 ms with no data and 4.6 ms with 1000 bytes of parameters in
+    both directions, i.e. ~1.1 us per byte end-to-end and a fixed cost of
+    ~1.2 ms per message.
+
+    Many primitives are microcoded ("extremely inexpensive" atomic flag
+    changes); costs below reflect their relative weights: atomic 16-bit
+    ops are a few microseconds, dual-queue and event operations tens of
+    microseconds, object mapping hundreds (it changes the address space). *)
+
+type t = {
+  make_object : Sim.Time.t;
+  map_object : Sim.Time.t;
+  unmap_object : Sim.Time.t;
+  atomic16 : Sim.Time.t;  (** microcoded atomic 16-bit flag operation *)
+  word_write : Sim.Time.t;  (** non-atomic 32-bit write (two 16-bit halves) *)
+  event_make : Sim.Time.t;
+  event_post : Sim.Time.t;
+  event_wait : Sim.Time.t;  (** when already posted; otherwise blocks free *)
+  dq_make : Sim.Time.t;
+  dq_op : Sim.Time.t;  (** enqueue or dequeue *)
+  copy_local_byte : Sim.Time.t;  (** 68000 copy within local memory *)
+  copy_remote_byte : Sim.Time.t;  (** copy through the switch *)
+}
+
+let default =
+  {
+    make_object = Sim.Time.us 900;
+    map_object = Sim.Time.us 350;
+    unmap_object = Sim.Time.us 250;
+    atomic16 = Sim.Time.us 4;
+    word_write = Sim.Time.us 9;
+    event_make = Sim.Time.us 120;
+    event_post = Sim.Time.us 40;
+    event_wait = Sim.Time.us 40;
+    dq_make = Sim.Time.us 250;
+    dq_op = Sim.Time.us 60;
+    copy_local_byte = Sim.Time.ns 250;
+    copy_remote_byte = Sim.Time.ns 550;
+  }

@@ -1,0 +1,1 @@
+lib/harness/backend_world.ml: Charlotte List Lynx Lynx_charlotte Lynx_chrysalis Lynx_soda Printf Sim String

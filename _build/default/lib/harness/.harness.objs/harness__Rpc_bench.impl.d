@@ -1,0 +1,1 @@
+lib/harness/rpc_bench.ml: Backend_world Bytes Charlotte Engine List Lynx Sim Soda Stats String Sync Time

@@ -1,0 +1,1 @@
+lib/harness/rpc_bench.mli: Backend_world Sim

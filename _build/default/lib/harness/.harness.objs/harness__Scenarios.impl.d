@@ -1,0 +1,1 @@
+lib/harness/scenarios.ml: Backend_world Engine List Lynx Lynx_soda Printf Sim Soda Stats Sync Time

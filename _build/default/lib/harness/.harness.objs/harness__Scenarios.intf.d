@@ -1,0 +1,1 @@
+lib/harness/scenarios.mli: Backend_world Sim

@@ -1,0 +1,1 @@
+lib/lynx/backend.ml: Sim

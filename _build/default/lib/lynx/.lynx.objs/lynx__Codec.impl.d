@@ -1,0 +1,1 @@
+lib/lynx/codec.ml: Array Buffer Bytes Char Link List Printf String Value

@@ -1,0 +1,1 @@
+lib/lynx/costs.ml: Sim

@@ -1,0 +1,1 @@
+lib/lynx/excn.ml: Printexc

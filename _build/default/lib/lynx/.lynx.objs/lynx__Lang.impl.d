@@ -1,0 +1,1 @@
+lib/lynx/lang.ml: Excn List Process Ty Value

@@ -1,0 +1,1 @@
+lib/lynx/lang.mli: Link Process

@@ -1,0 +1,1 @@
+lib/lynx/link.ml: Format

@@ -1,0 +1,1 @@
+lib/lynx/nameserver.ml: Excn Hashtbl Lang Link List Process String Ty Value

@@ -1,0 +1,1 @@
+lib/lynx/nameserver.mli: Link Process

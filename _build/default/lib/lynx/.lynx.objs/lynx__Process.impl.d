@@ -1,0 +1,1 @@
+lib/lynx/process.ml: Array Backend Bytes Codec Costs Engine Excn Fun Hashtbl Link List Option Printf Sim Stats Sync Time Ty Value

@@ -1,0 +1,1 @@
+lib/lynx/process.mli: Backend Costs Link Sim Ty Value

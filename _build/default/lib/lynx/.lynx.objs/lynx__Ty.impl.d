@@ -1,0 +1,1 @@
+lib/lynx/ty.ml: List String

@@ -1,0 +1,1 @@
+lib/lynx/value.ml: Format Link List String Ty

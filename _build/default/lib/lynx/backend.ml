@@ -1,0 +1,71 @@
+(** The interface between the LYNX run-time package and a kernel-specific
+    channel layer.
+
+    This is the paper's subject: everything above this interface (queue
+    semantics, coroutine management, fairness, marshalling, move rules)
+    is shared; everything below it differs radically between Charlotte,
+    SODA and Chrysalis.  The contract is {e pull}-based: a backend
+    buffers arrived messages per (link, kind) and rings the doorbell; the
+    core decides at its block points which open queue to service.
+
+    A backend must only buffer {e wanted} messages — those matching the
+    interest last declared via [b_set_interest].  How it achieves that is
+    its own business: Charlotte must bounce unwanted kernel messages with
+    retry/forbid traffic (§3.2.1); SODA and Chrysalis simply defer
+    acceptance (§6, lesson two). *)
+
+type kind = Request | Reply
+
+let kind_to_string = function Request -> "request" | Reply -> "reply"
+
+(** A received message: payload plus freshly registered handles for any
+    link ends that moved with it. *)
+type rx = {
+  rx_kind : kind;
+  rx_corr : int;
+      (** correlation id: a reply echoes the id of the request it
+          answers, so the runtime can unblock the right coroutine even
+          when several calls are outstanding on one link *)
+  rx_op : string;
+  rx_exn : string option;  (** a reply carrying a remote exception *)
+  rx_payload : bytes;
+  rx_enclosures : int list;  (** backend handle ids, already owned by us *)
+}
+
+(** Outcome of a send.  On failure the backend reports which enclosures
+    it recovered; the rest are lost (possible only under Charlotte). *)
+type send_result = (unit, send_error) result
+
+and send_error = {
+  se_exn : exn;
+  se_recovered : int list;  (** enclosure handle ids safely returned to us *)
+}
+
+type ops = {
+  b_new_link : unit -> int * int;
+      (** creates a link with both end handles owned by this process *)
+  b_send :
+    link:int ->
+    kind:kind ->
+    corr:int ->
+    op:string ->
+    exn_msg:string option ->
+    payload:bytes ->
+    enclosures:int list ->
+    completion:(send_result -> unit) ->
+    unit;
+      (** starts a send; [completion] fires (possibly much later) when
+          the message has been received or has failed *)
+  b_set_interest : link:int -> requests:bool -> replies:bool -> unit;
+  b_readable : unit -> (int * kind) list;
+      (** (link, kind) queues with buffered wanted messages, in arrival
+          order; may contain duplicates *)
+  b_take : link:int -> kind:kind -> rx option;
+  b_take_dead : unit -> int list;
+      (** handles of links newly observed destroyed, each reported once *)
+  b_doorbell : unit Sim.Sync.Mailbox.t;
+      (** rung whenever readable/dead state may have changed *)
+  b_destroy : link:int -> unit;
+  b_shutdown : unit -> unit;  (** process termination: destroy everything *)
+  b_stats : Sim.Stats.t;
+}

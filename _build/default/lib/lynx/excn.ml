@@ -1,0 +1,38 @@
+(** Exceptions visible to LYNX programs (paper §2.2: failures "must be
+    reflected back into the user program as a run-time exception"). *)
+
+exception Link_destroyed
+(** The link was destroyed, or the process at the other end terminated. *)
+
+exception Invalid_link
+(** The handle does not denote a link this process currently owns (it was
+    moved away, or never belonged to us). *)
+
+exception Move_violation of string
+(** Attempt to enclose a link end that may not move: unreceived messages
+    outstanding, a reply owed on it, or the end of the carrying link
+    itself (paper §2.1). *)
+
+exception Type_error of string
+(** Runtime message type check failed. *)
+
+exception Remote_error of string
+(** The remote operation raised; the exception came back in the reply. *)
+
+exception Process_terminated
+(** The process is shutting down; blocked coroutines are released with
+    this exception. *)
+
+exception Enclosure_lost of string
+(** A link end enclosed in a failed message could not be recovered — the
+    Charlotte deviation documented in §3.2.2. *)
+
+let to_string = function
+  | Link_destroyed -> "link destroyed"
+  | Invalid_link -> "invalid link"
+  | Move_violation m -> "move violation: " ^ m
+  | Type_error m -> "type error: " ^ m
+  | Remote_error m -> "remote error: " ^ m
+  | Process_terminated -> "process terminated"
+  | Enclosure_lost m -> "enclosure lost: " ^ m
+  | e -> Printexc.to_string e

@@ -1,0 +1,60 @@
+(** A process's view of one end of a LYNX link.
+
+    The handle is local to one process: when an end moves to another
+    process, the receiver gets a {e fresh} handle and the sender's handle
+    becomes invalid ([Moved]).  All dispatch bookkeeping lives in
+    {!Process}; this record carries only the per-end state that the
+    language semantics talk about. *)
+
+type state =
+  | Live
+  | Moving  (** enclosed in an in-flight message *)
+  | Moved  (** successfully moved to another process *)
+  | Lost  (** enclosed in a failed message and unrecoverable (§3.2.2) *)
+  | Dead  (** the link was destroyed *)
+
+type t = {
+  lid : int;  (** backend handle id, process-local *)
+  mutable l_state : state;
+  mutable unreceived_sends : int;
+      (** messages we sent on this end not yet received by the peer;
+          while nonzero the end may not move *)
+  mutable owed_replies : int;
+      (** requests received on this end whose reply we have not sent;
+          while nonzero the end may not move *)
+  mutable request_queue_open : bool;
+  mutable replies_expected : int;  (** reply queue open iff > 0 *)
+}
+
+let make lid =
+  {
+    lid;
+    l_state = Live;
+    unreceived_sends = 0;
+    owed_replies = 0;
+    request_queue_open = false;
+    replies_expected = 0;
+  }
+
+let state_to_string = function
+  | Live -> "live"
+  | Moving -> "moving"
+  | Moved -> "moved"
+  | Lost -> "lost"
+  | Dead -> "dead"
+
+let pp ppf l =
+  Format.fprintf ppf "link#%d[%s]" l.lid (state_to_string l.l_state)
+
+let is_usable l = l.l_state = Live
+
+(** Why this end may not be enclosed in a message right now, if any. *)
+let move_obstacle l =
+  match l.l_state with
+  | Moving | Moved -> Some "end is already moving"
+  | Lost -> Some "end was lost"
+  | Dead -> Some "link is destroyed"
+  | Live ->
+    if l.unreceived_sends > 0 then Some "unreceived messages outstanding"
+    else if l.owed_replies > 0 then Some "a reply is owed on this end"
+    else None

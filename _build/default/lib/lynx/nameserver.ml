@@ -1,0 +1,59 @@
+(* Protocol: three public typed operations served by the name server,
+   plus one ([clone]) that providers serve toward the name server. *)
+
+let op_register = Lang.defop ~name:"ns.register" ~req:Lang.str ~resp:Lang.bool
+let op_lookup =
+  Lang.defop ~name:"ns.lookup" ~req:Lang.str ~resp:(Lang.option Lang.link)
+let op_list = Lang.defop ~name:"ns.list" ~req:Lang.unit ~resp:(Lang.list Lang.str)
+let op_clone = Lang.defop ~name:"ns.clone" ~req:Lang.unit ~resp:Lang.link
+
+let body p =
+  (* name -> the registration link leading to the provider. *)
+  let table : (string, Link.t) Hashtbl.t = Hashtbl.create 16 in
+  let install lnk =
+    Process.serve p lnk ~op:(Lang.name op_register)
+      ~sg:(Ty.signature [ Ty.Str ] ~results:[ Ty.Bool ])
+      (function
+        | [ Value.Str name ] ->
+          if Hashtbl.mem table name then
+            raise (Excn.Remote_error ("name taken: " ^ name))
+          else begin
+            Hashtbl.replace table name lnk;
+            [ Value.Bool true ]
+          end
+        | _ -> assert false);
+    Lang.serve p lnk op_lookup (fun name ->
+        match Hashtbl.find_opt table name with
+        | None -> None
+        | Some provider -> (
+          (* Relay a clone request to the provider; the fresh end it
+             returns moves on to the client inside our reply. *)
+          match Lang.call p provider op_clone () with
+          | fresh -> Some fresh
+          | exception (Excn.Link_destroyed | Excn.Invalid_link) ->
+            (* The provider is gone; forget it. *)
+            Hashtbl.remove table name;
+            None));
+    Lang.serve p lnk op_list (fun () ->
+        List.sort String.compare
+          (Hashtbl.fold (fun k _ acc -> k :: acc) table []))
+  in
+  List.iter install (Process.live_links p);
+  (* Links adopted later (members joining) get the services too. *)
+  Process.on_new_link p install;
+  try Process.park p with Excn.Process_terminated -> ()
+
+let register p ~ns ~name =
+  match Lang.call p ns op_register name with
+  | true -> ()
+  | false -> raise (Excn.Remote_error ("register refused: " ^ name))
+
+let serve_clones p ~ns ~on_client =
+  Lang.serve p ns op_clone (fun () ->
+      let keep, give = Process.new_link p in
+      on_client keep;
+      give)
+
+let lookup p ~ns ~name = Lang.call p ns op_lookup name
+
+let list_names p ~ns = Lang.call p ns op_list ()

@@ -1,0 +1,28 @@
+(** Message type descriptions, checked at run time when a request or
+    reply is received (LYNX performs dynamic type checking across links,
+    since the two sides are compiled at disparate times). *)
+
+type t =
+  | Unit
+  | Bool
+  | Int
+  | Str
+  | Link  (** a link end travels with the message *)
+  | Pair of t * t
+  | List of t
+
+(** The argument and result types of a remote operation. *)
+type signature = { sg_args : t list; sg_results : t list }
+
+let rec to_string = function
+  | Unit -> "unit"
+  | Bool -> "bool"
+  | Int -> "int"
+  | Str -> "str"
+  | Link -> "link"
+  | Pair (a, b) -> "(" ^ to_string a ^ " * " ^ to_string b ^ ")"
+  | List e -> to_string e ^ " list"
+
+let list_to_string tys = "[" ^ String.concat "; " (List.map to_string tys) ^ "]"
+
+let signature ?(results = []) args = { sg_args = args; sg_results = results }

@@ -1,0 +1,68 @@
+(** Runtime values carried by LYNX messages. *)
+
+type t =
+  | Unit
+  | Bool of bool
+  | Int of int
+  | Str of string
+  | Link of Link.t
+  | Pair of t * t
+  | List of t list
+
+let rec check (ty : Ty.t) v =
+  match (ty, v) with
+  | Ty.Unit, Unit | Ty.Bool, Bool _ | Ty.Int, Int _ | Ty.Str, Str _ -> true
+  | Ty.Link, Link _ -> true
+  | Ty.Pair (ta, tb), Pair (a, b) -> check ta a && check tb b
+  | Ty.List te, List vs -> List.for_all (check te) vs
+  | (Ty.Unit | Ty.Bool | Ty.Int | Ty.Str | Ty.Link | Ty.Pair _ | Ty.List _), _
+    -> false
+
+let check_list tys vs =
+  List.length tys = List.length vs && List.for_all2 check tys vs
+
+(** Marshalled size in bytes: one tag byte per node plus the payload.
+    This drives the simulated transfer costs, so it must match what
+    {!Codec} produces. *)
+let rec size_bytes = function
+  | Unit | Bool _ -> 1
+  | Int _ -> 9
+  | Str s -> 5 + String.length s
+  | Link _ -> 5  (* a placeholder index; the end itself travels out of band *)
+  | Pair (a, b) -> 1 + size_bytes a + size_bytes b
+  | List vs -> List.fold_left (fun acc v -> acc + size_bytes v) 5 vs
+
+let size_list vs = List.fold_left (fun acc v -> acc + size_bytes v) 0 vs
+
+(** All link ends contained in the value, left to right. *)
+let rec links acc = function
+  | Unit | Bool _ | Int _ | Str _ -> acc
+  | Link l -> l :: acc
+  | Pair (a, b) -> links (links acc a) b
+  | List vs -> List.fold_left links acc vs
+
+let links_of_list vs = List.rev (List.fold_left links [] vs)
+
+let rec pp ppf = function
+  | Unit -> Format.pp_print_string ppf "()"
+  | Bool b -> Format.pp_print_bool ppf b
+  | Int i -> Format.pp_print_int ppf i
+  | Str s -> Format.fprintf ppf "%S" s
+  | Link l -> Link.pp ppf l
+  | Pair (a, b) -> Format.fprintf ppf "(%a, %a)" pp a pp b
+  | List vs ->
+    Format.fprintf ppf "[%a]"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ") pp)
+      vs
+
+let rec equal a b =
+  match (a, b) with
+  | Unit, Unit -> true
+  | Bool x, Bool y -> x = y
+  | Int x, Int y -> x = y
+  | Str x, Str y -> String.equal x y
+  | Link x, Link y -> x.Link.lid = y.Link.lid
+  | Pair (a1, a2), Pair (b1, b2) -> equal a1 b1 && equal a2 b2
+  | List xs, List ys -> (
+    try List.for_all2 equal xs ys with Invalid_argument _ -> false)
+  | (Unit | Bool _ | Int _ | Str _ | Link _ | Pair _ | List _), _ -> false

@@ -1,0 +1,1 @@
+lib/lynx_charlotte/channel.ml: Array Charlotte Engine Hashtbl List Lynx Option Packet Printf Queue Sim Stats Sync

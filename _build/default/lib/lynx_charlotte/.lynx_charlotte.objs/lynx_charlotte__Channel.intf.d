@@ -1,0 +1,1 @@
+lib/lynx_charlotte/channel.mli: Charlotte Lynx Sim

@@ -1,0 +1,1 @@
+lib/lynx_charlotte/packet.ml: Buffer Bytes Char Lynx String

@@ -1,0 +1,1 @@
+lib/lynx_charlotte/world.ml: Channel Charlotte Fun Lynx Sim

@@ -1,0 +1,1 @@
+lib/lynx_charlotte/world.mli: Charlotte Lynx Sim

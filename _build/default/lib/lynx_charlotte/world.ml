@@ -1,0 +1,69 @@
+(** Convenience harness: LYNX processes on a simulated Crystal/Charlotte
+    machine. *)
+
+type t = {
+  kernel : Charlotte.Kernel.t;
+  sts : Sim.Stats.t;
+  costs : Lynx.Costs.t;
+  reply_acks : bool;
+      (** enable the §3.2.2 top-level reply acknowledgments (an
+          ablation: the paper rejected them as too expensive) *)
+}
+
+type member = {
+  m_chan : Channel.t Sim.Sync.Ivar.t;
+  m_process : Lynx.Process.t Sim.Sync.Ivar.t;
+  m_pid : Charlotte.Types.pid Sim.Sync.Ivar.t;
+}
+
+let create ?(costs = Lynx.Costs.vax) ?kernel_costs ?(reply_acks = false) ?stats
+    engine ~nodes =
+  let sts = match stats with Some s -> s | None -> Sim.Stats.create () in
+  {
+    kernel = Charlotte.Kernel.create engine ?costs:kernel_costs ~stats:sts ~nodes ();
+    sts;
+    costs;
+    reply_acks;
+  }
+
+let kernel t = t.kernel
+let stats t = t.sts
+let engine t = Charlotte.Kernel.engine t.kernel
+
+let spawn t ?daemon ~node ~name body =
+  let eng = engine t in
+  let m =
+    {
+      m_chan = Sim.Sync.Ivar.create eng;
+      m_process = Sim.Sync.Ivar.create eng;
+      m_pid = Sim.Sync.Ivar.create eng;
+    }
+  in
+  ignore
+    (Charlotte.Kernel.spawn_process t.kernel ?daemon ~node ~name (fun pid ->
+         let chan, ops =
+           Channel.make ~reply_acks:t.reply_acks t.kernel pid ~stats:t.sts
+         in
+         let p = Lynx.Process.make eng ~name ~costs:t.costs ~stats:t.sts ops in
+         Sim.Sync.Ivar.fill m.m_chan chan;
+         Sim.Sync.Ivar.fill m.m_pid pid;
+         Sim.Sync.Ivar.fill m.m_process p;
+         Fun.protect ~finally:(fun () -> Lynx.Process.finish p) (fun () -> body p)));
+  m
+
+(** Creates a link with one end in each process — the bootstrap link a
+    parent process would normally provide.  Call from a fiber. *)
+let link_between t ma mb =
+  let ca = Sim.Sync.Ivar.read ma.m_chan and cb = Sim.Sync.Ivar.read mb.m_chan in
+  let pa = Sim.Sync.Ivar.read ma.m_process
+  and pb = Sim.Sync.Ivar.read mb.m_process in
+  let pid_a = Sim.Sync.Ivar.read ma.m_pid and pid_b = Sim.Sync.Ivar.read mb.m_pid in
+  match Charlotte.Kernel.make_link t.kernel pid_a with
+  | None -> invalid_arg "link_between: dead process"
+  | Some (e0, e1) ->
+    Charlotte.Kernel.transfer_end t.kernel e1 ~to_:pid_b;
+    let ha = Channel.adopt_end ca e0 in
+    let hb = Channel.adopt_end cb e1 in
+    (Lynx.Process.adopt_link pa ha, Lynx.Process.adopt_link pb hb)
+
+let process m = Sim.Sync.Ivar.read m.m_process

@@ -1,0 +1,1 @@
+lib/lynx_chrysalis/channel.ml: Array Bytes Char Chrysalis Engine Hashtbl Layout List Lynx Printf Queue Sim Stats Sync

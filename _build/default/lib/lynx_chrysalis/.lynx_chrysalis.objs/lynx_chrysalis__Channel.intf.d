@@ -1,0 +1,1 @@
+lib/lynx_chrysalis/channel.mli: Chrysalis Lynx Sim

@@ -1,0 +1,1 @@
+lib/lynx_chrysalis/layout.ml: Buffer Bytes Char List Lynx Option String

@@ -1,0 +1,1 @@
+lib/lynx_chrysalis/world.ml: Channel Chrysalis Fun Lynx Sim

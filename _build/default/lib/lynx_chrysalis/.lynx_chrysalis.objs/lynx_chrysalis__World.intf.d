@@ -1,0 +1,1 @@
+lib/lynx_chrysalis/world.mli: Chrysalis Lynx Sim

@@ -1,0 +1,137 @@
+(** Layout of a LYNX link object in Butterfly shared memory (paper §5.2).
+
+    A link is one Chrysalis memory object mapped by the two connected
+    processes.  It contains buffer space for a single request and a
+    single reply in each direction, a set of flag bits, and the names of
+    the dual queues of the processes at each end.
+
+    Byte layout:
+    {v
+    0   flags (16-bit word, atomic ops only)
+    4   dual-queue name of the side-0 process (32-bit, updated
+        NON-atomically when the end moves; readers tolerate staleness)
+    8   dual-queue name of the side-1 process
+    12  slot 0: request travelling 0 -> 1
+    12+S   slot 1: reply   travelling 0 -> 1
+    12+2S  slot 2: request travelling 1 -> 0
+    12+3S  slot 3: reply   travelling 1 -> 0
+    v}
+    where S = [slot_size].  Each slot starts with the total encoded
+    length (4 bytes) — so the receiver copies only what was written —
+    followed by: payload length (4), op length (2), op bytes, exception
+    length (2), exception bytes, has-exception (2), enclosure count (2),
+    then [enclosure count] encoded end names (4 each), then the
+    payload. *)
+
+let flags_off = 0
+let dq_name_off side = 4 + (4 * side)
+let slot_size = 2048
+let header_off = 12
+
+(** Flag bit for a message present in a slot. *)
+let present_bit slot = 1 lsl slot
+
+(** Flag bit: the link has been destroyed. *)
+let destroyed_bit = 1 lsl 8
+
+(** Slot index for a message of [kind] sent by the process on [side]. *)
+let slot ~side ~(kind : Lynx.Backend.kind) =
+  (2 * side) + match kind with Lynx.Backend.Request -> 0 | Lynx.Backend.Reply -> 1
+
+let kind_of_slot s =
+  if s land 1 = 0 then Lynx.Backend.Request else Lynx.Backend.Reply
+
+let side_of_slot s = s / 2
+let slot_off s = header_off + (s * slot_size)
+let object_size = header_off + (4 * slot_size)
+
+(** Dual-queue notice encoding: [(object_name lsl 4) lor tag].  Tags 0-3:
+    "slot N of your link changed"; tag 15: "destroyed flag set".  All
+    notices are hints (§5.2): the receiver validates against the flags. *)
+let notice_msg ~obj ~slot = (obj lsl 4) lor slot
+
+let notice_destroy ~obj = (obj lsl 4) lor 15
+let notice_obj n = n lsr 4
+let notice_tag n = n land 15
+
+(** Serialized slot header helpers.  [encode_slot] produces the bytes to
+    write at the slot offset. *)
+let encode_slot ~corr ~op ~exn_msg ~(enclosures : int list) ~(payload : bytes) =
+  let buf = Buffer.create (64 + Bytes.length payload) in
+  let add_u16 n =
+    Buffer.add_char buf (Char.chr (n land 0xff));
+    Buffer.add_char buf (Char.chr ((n lsr 8) land 0xff))
+  in
+  let add_u32 n =
+    add_u16 (n land 0xffff);
+    add_u16 ((n lsr 16) land 0xffff)
+  in
+  add_u32 corr;
+  add_u32 (Bytes.length payload);
+  add_u16 (String.length op);
+  Buffer.add_string buf op;
+  let exn_s = Option.value exn_msg ~default:"" in
+  add_u16 (String.length exn_s);
+  Buffer.add_string buf exn_s;
+  add_u16 (if exn_msg = None then 0 else 1);
+  add_u16 (List.length enclosures);
+  List.iter add_u32 enclosures;
+  Buffer.add_bytes buf payload;
+  let b = Buffer.to_bytes buf in
+  if Bytes.length b > slot_size then
+    invalid_arg "lynx_chrysalis: message exceeds link buffer";
+  b
+
+type decoded = {
+  d_corr : int;
+  d_op : string;
+  d_exn : string option;
+  d_enclosures : int list;  (** memory-object names of moved link ends *)
+  d_payload : bytes;
+}
+
+let decode_slot (b : bytes) : decoded =
+  let pos = ref 0 in
+  let u16 () =
+    let v =
+      Char.code (Bytes.get b !pos) lor (Char.code (Bytes.get b (!pos + 1)) lsl 8)
+    in
+    pos := !pos + 2;
+    v
+  in
+  let u32 () =
+    let lo = u16 () in
+    let hi = u16 () in
+    lo lor (hi lsl 16)
+  in
+  let d_corr = u32 () in
+  let payload_len = u32 () in
+  let op_len = u16 () in
+  let d_op = Bytes.sub_string b !pos op_len in
+  pos := !pos + op_len;
+  let exn_len = u16 () in
+  let exn_s = Bytes.sub_string b !pos exn_len in
+  pos := !pos + exn_len;
+  let has_exn = u16 () in
+  let n_encl = u16 () in
+  let rec encls k acc =
+    if k = 0 then List.rev acc
+    else
+      let v = u32 () in
+      encls (k - 1) (v :: acc)
+  in
+  let d_enclosures = encls n_encl [] in
+  let d_payload = Bytes.sub b !pos payload_len in
+  {
+    d_corr;
+    d_op;
+    d_exn = (if has_exn = 1 then Some exn_s else None);
+    d_enclosures;
+    d_payload;
+  }
+
+(** Bytes actually occupied by an encoded slot (for cost accounting). *)
+let encoded_size ~op ~exn_msg ~n_enclosures ~payload_len =
+  4 + 2 + String.length op + 2
+  + String.length (Option.value exn_msg ~default:"")
+  + 2 + 2 + (4 * n_enclosures) + payload_len

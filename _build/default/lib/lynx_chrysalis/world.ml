@@ -1,0 +1,55 @@
+(** Convenience harness: LYNX processes on a simulated Butterfly. *)
+
+type t = {
+  kernel : Chrysalis.Kernel.t;
+  sts : Sim.Stats.t;
+  costs : Lynx.Costs.t;
+}
+
+(** A spawned LYNX process; the ivars fill once the process has
+    initialised inside its fiber. *)
+type member = {
+  m_chan : Channel.t Sim.Sync.Ivar.t;
+  m_process : Lynx.Process.t Sim.Sync.Ivar.t;
+}
+
+let create ?(costs = Lynx.Costs.m68000) ?stats engine ~nodes =
+  let sts = match stats with Some s -> s | None -> Sim.Stats.create () in
+  {
+    kernel = Chrysalis.Kernel.create engine ~stats:sts ~processors:nodes ();
+    sts;
+    costs;
+  }
+
+let kernel t = t.kernel
+let stats t = t.sts
+let engine t = Chrysalis.Kernel.engine t.kernel
+
+(** Starts a LYNX process on [node].  The body runs as the process's
+    main thread; when it returns, the process terminates and destroys
+    its links. *)
+let spawn t ?daemon ~node ~name body =
+  let eng = engine t in
+  let m =
+    { m_chan = Sim.Sync.Ivar.create eng; m_process = Sim.Sync.Ivar.create eng }
+  in
+  ignore
+    (Chrysalis.Kernel.spawn_process t.kernel ?daemon ~node ~name (fun pid ->
+         let chan, ops = Channel.make t.kernel pid ~stats:t.sts in
+         let p = Lynx.Process.make eng ~name ~costs:t.costs ~stats:t.sts ops in
+         Sim.Sync.Ivar.fill m.m_chan chan;
+         Sim.Sync.Ivar.fill m.m_process p;
+         Fun.protect ~finally:(fun () -> Lynx.Process.finish p) (fun () -> body p)));
+  m
+
+(** Creates a link with one end in each process — the bootstrap link a
+    parent or name server would normally provide.  Must be called from a
+    fiber; blocks until both processes are initialised. *)
+let link_between _t ma mb =
+  let ca = Sim.Sync.Ivar.read ma.m_chan and cb = Sim.Sync.Ivar.read mb.m_chan in
+  let pa = Sim.Sync.Ivar.read ma.m_process
+  and pb = Sim.Sync.Ivar.read mb.m_process in
+  let ha, hb = Channel.bootstrap_pair ca cb in
+  (Lynx.Process.adopt_link pa ha, Lynx.Process.adopt_link pb hb)
+
+let process m = Sim.Sync.Ivar.read m.m_process

@@ -1,0 +1,1 @@
+lib/lynx_soda/channel.ml: Array Bytes Engine Hashtbl List Lynx Option Printf Queue Sim Soda Stats Sync Time Wire

@@ -1,0 +1,1 @@
+lib/lynx_soda/channel.mli: Lynx Sim Soda

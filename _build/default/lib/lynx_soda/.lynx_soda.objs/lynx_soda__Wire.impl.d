@@ -1,0 +1,1 @@
+lib/lynx_soda/wire.ml: Buffer Bytes Char List Lynx String

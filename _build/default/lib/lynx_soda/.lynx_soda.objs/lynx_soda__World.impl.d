@@ -1,0 +1,1 @@
+lib/lynx_soda/world.ml: Channel Fun Lynx Sim Soda

@@ -1,0 +1,1 @@
+lib/lynx_soda/world.mli: Lynx Sim Soda

@@ -1,0 +1,165 @@
+(** Wire format of the LYNX-over-SODA protocol (paper §4.2).
+
+    SODA's out-of-band data is tiny (~48 bits), so only the essentials
+    travel out of band; everything else — operation name, enclosure
+    descriptors, payload — goes in the message body, exactly the
+    trade-off §4.2.1 discusses.
+
+    Out-of-band tags:
+    - requests: [Msg] (a LYNX request or reply put; carries the kind),
+      [Sig] (a status signal watching for destruction/moves), [Freeze]
+      (hint search, carries the sought end name), [Unfreeze].
+    - accepts: [Ok_taken], [Destroyed], [Moved] (carries the new owner
+      pid), [Hint] (freeze answer with a hint), [No_hint]. *)
+
+type req_oob =
+  | Msg of Lynx.Backend.kind
+  | Sig
+  | Freeze of int  (* sought end name *)
+  | Unfreeze
+
+type acc_oob =
+  | Ok_taken
+  | Destroyed
+  | Moved of int  (* new owner pid *)
+  | Hint of int  (* freeze answer: believed owner pid *)
+  | No_hint
+
+let u32_bytes n =
+  Bytes.init 4 (fun i -> Char.chr ((n lsr (8 * i)) land 0xff))
+
+let u32_of b off =
+  Char.code (Bytes.get b off)
+  lor (Char.code (Bytes.get b (off + 1)) lsl 8)
+  lor (Char.code (Bytes.get b (off + 2)) lsl 16)
+  lor (Char.code (Bytes.get b (off + 3)) lsl 24)
+
+let encode_req_oob = function
+  | Msg Lynx.Backend.Request -> Bytes.of_string "\001"
+  | Msg Lynx.Backend.Reply -> Bytes.of_string "\002"
+  | Sig -> Bytes.of_string "\003"
+  | Freeze name -> Bytes.cat (Bytes.of_string "\004") (u32_bytes name)
+  | Unfreeze -> Bytes.of_string "\005"
+
+let decode_req_oob b =
+  if Bytes.length b = 0 then None
+  else
+    match Char.code (Bytes.get b 0) with
+    | 1 -> Some (Msg Lynx.Backend.Request)
+    | 2 -> Some (Msg Lynx.Backend.Reply)
+    | 3 -> Some Sig
+    | 4 when Bytes.length b >= 5 -> Some (Freeze (u32_of b 1))
+    | 5 -> Some Unfreeze
+    | _ -> None
+
+let encode_acc_oob = function
+  | Ok_taken -> Bytes.of_string "\001"
+  | Destroyed -> Bytes.of_string "\002"
+  | Moved pid -> Bytes.cat (Bytes.of_string "\003") (u32_bytes pid)
+  | Hint pid -> Bytes.cat (Bytes.of_string "\004") (u32_bytes pid)
+  | No_hint -> Bytes.of_string "\005"
+
+let decode_acc_oob b =
+  if Bytes.length b = 0 then None
+  else
+    match Char.code (Bytes.get b 0) with
+    | 1 -> Some Ok_taken
+    | 2 -> Some Destroyed
+    | 3 when Bytes.length b >= 5 -> Some (Moved (u32_of b 1))
+    | 4 when Bytes.length b >= 5 -> Some (Hint (u32_of b 1))
+    | 5 -> Some No_hint
+    | _ -> None
+
+(** Message body: operation, optional exception, enclosure descriptors,
+    payload.  An enclosure descriptor names the moved end, the far end,
+    and a location hint for the far end's owner. *)
+type encl = { e_my_name : int; e_far_name : int; e_hint : int }
+
+type body = {
+  b_corr : int;
+  b_op : string;
+  b_exn : string option;
+  b_encl : encl list;
+  b_payload : bytes;
+}
+
+let encode_body (b : body) : bytes =
+  let buf = Buffer.create (64 + Bytes.length b.b_payload) in
+  let u16 n =
+    Buffer.add_char buf (Char.chr (n land 0xff));
+    Buffer.add_char buf (Char.chr ((n lsr 8) land 0xff))
+  in
+  let u32 n =
+    u16 (n land 0xffff);
+    u16 ((n lsr 16) land 0xffff)
+  in
+  let str s =
+    u16 (String.length s);
+    Buffer.add_string buf s
+  in
+  u32 b.b_corr;
+  str b.b_op;
+  (match b.b_exn with
+  | None -> u16 0xffff
+  | Some e -> str e);
+  u16 (List.length b.b_encl);
+  List.iter
+    (fun e ->
+      u32 e.e_my_name;
+      u32 e.e_far_name;
+      u32 e.e_hint)
+    b.b_encl;
+  u32 (Bytes.length b.b_payload);
+  Buffer.add_bytes buf b.b_payload;
+  Buffer.to_bytes buf
+
+exception Malformed
+
+let decode_body (raw : bytes) : body =
+  let pos = ref 0 in
+  let u16 () =
+    if !pos + 2 > Bytes.length raw then raise Malformed;
+    let v =
+      Char.code (Bytes.get raw !pos)
+      lor (Char.code (Bytes.get raw (!pos + 1)) lsl 8)
+    in
+    pos := !pos + 2;
+    v
+  in
+  let u32 () =
+    let lo = u16 () in
+    let hi = u16 () in
+    lo lor (hi lsl 16)
+  in
+  let str n =
+    if !pos + n > Bytes.length raw then raise Malformed;
+    let s = Bytes.sub_string raw !pos n in
+    pos := !pos + n;
+    s
+  in
+  let b_corr = u32 () in
+  let b_op = str (u16 ()) in
+  let b_exn =
+    let n = u16 () in
+    if n = 0xffff then None else Some (str n)
+  in
+  let n_encl = u16 () in
+  let rec encls k acc =
+    if k = 0 then List.rev acc
+    else begin
+      let e_my_name = u32 () in
+      let e_far_name = u32 () in
+      let e_hint = u32 () in
+      encls (k - 1) ({ e_my_name; e_far_name; e_hint } :: acc)
+    end
+  in
+  let b_encl = encls n_encl [] in
+  let len = u32 () in
+  if !pos + len > Bytes.length raw then raise Malformed;
+  let b_payload = Bytes.sub raw !pos len in
+  { b_corr; b_op; b_exn; b_encl; b_payload }
+
+(** Well-known freeze name for a process (paper §4.2: "every process
+    advertises a freeze name").  SODA names are unique ints; we reserve
+    a high range. *)
+let freeze_name pid = 1_000_000 + pid

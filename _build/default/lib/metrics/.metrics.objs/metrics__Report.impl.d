@@ -1,0 +1,1 @@
+lib/metrics/report.ml: Float List Printf String

@@ -1,0 +1,1 @@
+lib/metrics/source_size.ml: Array Filename Fun List String Sys

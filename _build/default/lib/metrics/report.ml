@@ -1,0 +1,62 @@
+(** Table formatting and paper-vs-measured comparison helpers for the
+    bench harness and EXPERIMENTS.md. *)
+
+type cell = string
+
+let rule widths =
+  "+"
+  ^ String.concat "+" (List.map (fun w -> String.make (w + 2) '-') widths)
+  ^ "+"
+
+let row widths cells =
+  let padded =
+    List.map2
+      (fun w c ->
+        let c = if String.length c > w then String.sub c 0 w else c in
+        Printf.sprintf " %-*s " w c)
+      widths cells
+  in
+  "|" ^ String.concat "|" padded ^ "|"
+
+(** Prints a simple ASCII table: the first row is the header. *)
+let table ~header rows =
+  let all = header :: rows in
+  let ncols = List.length header in
+  let widths =
+    List.init ncols (fun i ->
+        List.fold_left
+          (fun acc r ->
+            match List.nth_opt r i with
+            | Some c -> max acc (String.length c)
+            | None -> acc)
+          1 all)
+  in
+  print_endline (rule widths);
+  print_endline (row widths header);
+  print_endline (rule widths);
+  List.iter (fun r -> print_endline (row widths r)) rows;
+  print_endline (rule widths)
+
+let ms v = Printf.sprintf "%.2f ms" v
+let ratio v = Printf.sprintf "%.2fx" v
+
+(** "57.00 ms (paper: 57 ms, +0.4%)" *)
+let vs_paper ~paper ~measured =
+  let pct =
+    if paper = 0. then 0. else (measured -. paper) /. paper *. 100.
+  in
+  Printf.sprintf "%.2f (paper %.1f, %+.1f%%)" measured paper pct
+
+(** Whether [measured] is within [pct] percent of [paper]. *)
+let within ~pct ~paper ~measured =
+  if paper = 0. then measured = 0.
+  else Float.abs ((measured -. paper) /. paper) *. 100. <= pct
+
+let check_line ~label ~pct ~paper ~measured =
+  let ok = within ~pct ~paper ~measured in
+  Printf.printf "  %-44s %s  %s\n" label (vs_paper ~paper ~measured)
+    (if ok then "[ok]" else "[MISMATCH]");
+  ok
+
+let section title =
+  Printf.printf "\n=== %s ===\n" title

@@ -1,0 +1,25 @@
+(** Table formatting and paper-vs-measured comparison helpers for the
+    bench harness. *)
+
+type cell = string
+
+val table : header:cell list -> cell list list -> unit
+(** Prints an ASCII table to stdout; column widths fit the content. *)
+
+val ms : float -> string
+(** ["57.24 ms"]. *)
+
+val ratio : float -> string
+(** ["3.02x"]. *)
+
+val vs_paper : paper:float -> measured:float -> string
+(** ["57.27 (paper 57.0, +0.5%)"]. *)
+
+val within : pct:float -> paper:float -> measured:float -> bool
+(** Whether [measured] deviates from [paper] by at most [pct] percent. *)
+
+val check_line : label:string -> pct:float -> paper:float -> measured:float -> bool
+(** Prints one "[ok]"/"[MISMATCH]" comparison line; returns the verdict. *)
+
+val section : string -> unit
+(** Prints a section banner. *)

@@ -1,0 +1,29 @@
+(** Source-size accounting for the code-size comparison (paper §3.3 vs
+    §5.3): lines of implementation per backend library, measured the way
+    the paper measures its run-time packages. *)
+
+type count = {
+  files : int;
+  total_lines : int;
+  code_lines : int;  (** non-blank lines containing code *)
+  comment_lines : int;  (** non-blank lines that are comment-only *)
+}
+
+val zero : count
+val add : count -> count -> count
+
+val count_file : string -> count
+(** Classifies the lines of one OCaml source file (tracks comment
+    nesting across lines). *)
+
+val count_dir : string -> count
+(** Recursively counts every [.ml]/[.mli] under a directory; zero if the
+    directory does not exist. *)
+
+val find_repo_root : unit -> string option
+(** Walks upward from the current directory to the [dune-project]. *)
+
+val backend_sizes : unit -> (string * count) list option
+(** Sizes of [lynx_charlotte], [lynx_soda], [lynx_chrysalis] and the
+    shared [lynx] core, relative to the repository root; [None] when the
+    sources are not accessible. *)

@@ -1,0 +1,1 @@
+lib/netmodel/butterfly_switch.ml: Engine Option Sim Stats Time

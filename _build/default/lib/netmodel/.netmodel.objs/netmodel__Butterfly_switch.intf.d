@@ -1,0 +1,1 @@
+lib/netmodel/butterfly_switch.mli: Sim

@@ -1,0 +1,1 @@
+lib/netmodel/csma_bus.ml: Engine Option Rng Sim Stats Time

@@ -1,0 +1,1 @@
+lib/netmodel/csma_bus.mli: Sim

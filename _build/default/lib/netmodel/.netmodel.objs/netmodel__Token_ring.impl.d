@@ -1,0 +1,1 @@
+lib/netmodel/token_ring.ml: Engine Option Sim Stats Time

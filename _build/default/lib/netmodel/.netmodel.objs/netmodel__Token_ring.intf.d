@@ -1,0 +1,1 @@
+lib/netmodel/token_ring.mli: Sim

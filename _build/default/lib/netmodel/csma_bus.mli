@@ -1,0 +1,39 @@
+(** Model of SODA's 1 Mbit/s CSMA broadcast bus (PDP-11/23 network).
+
+    Carrier-sense with random exponential backoff: a station that finds
+    the bus busy retries after a random number of slots, doubling the
+    window up to a bound.  The bus also supports broadcast: one
+    transmission delivered to every other station (used by SODA's
+    [discover]); each delivery is independently lost with a configurable
+    probability, modelling the paper's "unreliable broadcast". *)
+
+type t
+
+val create :
+  Sim.Engine.t ->
+  ?stats:Sim.Stats.t ->
+  ?byte_time:Sim.Time.t ->
+  ?frame_overhead:Sim.Time.t ->
+  ?slot:Sim.Time.t ->
+  ?max_backoff_exp:int ->
+  ?broadcast_loss:float ->
+  rng:Sim.Rng.t ->
+  stations:int ->
+  unit ->
+  t
+
+val stations : t -> int
+val frame_time : t -> bytes:int -> Sim.Time.t
+
+val transmit :
+  t -> src:int -> dst:int -> duration:Sim.Time.t -> on_delivered:(unit -> unit) -> unit
+(** Point-to-point frame: delivered exactly once (the kernels' request /
+    retry machinery provides reliability above this). *)
+
+val broadcast :
+  t -> src:int -> duration:Sim.Time.t -> on_delivered:(int -> unit) -> unit
+(** Delivers to every station except [src]; each delivery independently
+    lost with the configured probability.  [on_delivered station] runs at
+    arrival for each surviving copy. *)
+
+val stats : t -> Sim.Stats.t

@@ -1,0 +1,52 @@
+open Sim
+
+type t = {
+  engine : Engine.t;
+  stats : Stats.t;
+  byte_time : Time.t;
+  frame_overhead : Time.t;
+  token_latency : Time.t;
+  n_stations : int;
+  mutable busy_until : Time.t;
+}
+
+let create engine ?stats ?byte_time ?frame_overhead ?token_latency ~stations () =
+  if stations <= 0 then invalid_arg "Token_ring.create: stations";
+  {
+    engine;
+    stats = (match stats with Some s -> s | None -> Stats.create ());
+    (* 10 Mbit/s -> 0.8 us per byte. *)
+    byte_time = Option.value byte_time ~default:(Time.ns 800);
+    frame_overhead = Option.value frame_overhead ~default:(Time.us 120);
+    token_latency = Option.value token_latency ~default:(Time.us 60);
+    n_stations = stations;
+    busy_until = Time.zero;
+  }
+
+let stations t = t.n_stations
+
+let frame_time t ~bytes =
+  Time.add t.frame_overhead (Time.scale t.byte_time bytes)
+
+let transmit t ~src ~dst ~duration ~on_delivered =
+  if src < 0 || src >= t.n_stations || dst < 0 || dst >= t.n_stations then
+    invalid_arg "Token_ring.transmit: bad station";
+  let now = Engine.now t.engine in
+  Stats.incr t.stats "ring.frames";
+  if src = dst then begin
+    (* Loopback: no token, no ring occupation. *)
+    Stats.incr t.stats "ring.loopback_frames";
+    Engine.schedule_after t.engine duration on_delivered
+  end
+  else begin
+    let start = Time.add (Time.max now t.busy_until) t.token_latency in
+    let finish = Time.add start duration in
+    let queued = Time.sub start now in
+    if not (Time.is_zero (Time.sub queued t.token_latency)) then
+      Stats.incr t.stats "ring.queued_frames";
+    Stats.incr t.stats "ring.busy_ns" ~by:(Time.to_ns duration);
+    t.busy_until <- finish;
+    Engine.schedule_at t.engine finish on_delivered
+  end
+
+let stats t = t.stats

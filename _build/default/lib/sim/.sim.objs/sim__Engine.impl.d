@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Effect Heap List Printexc Printf Rng String Time Trace

@@ -1,0 +1,174 @@
+type fiber_state = Runnable | Blocked of string | Finished | Crashed
+
+type fiber = {
+  fid : int;
+  name : string;
+  daemon : bool;
+  mutable state : fiber_state;
+}
+
+type t = {
+  mutable now : Time.t;
+  mutable seq : int;
+  tasks : (unit -> unit) Heap.t;
+  mutable fibers : fiber list;
+  mutable current : fiber option;
+  mutable stopped : bool;
+  mutable crashes : (string * exn) list;
+  on_crash : [ `Raise | `Record ];
+  root_rng : Rng.t;
+  trace_buf : Trace.t;
+}
+
+exception Deadlock of string
+exception Fiber_crash of string * exn
+type 'a waker = ('a, exn) result -> unit
+
+type _ Effect.t += Suspend_with : string * ((('a, exn) result -> unit) -> unit) -> 'a Effect.t
+
+let create ?(seed = 42) ?trace_capacity ?(on_crash = `Raise) () =
+  {
+    now = Time.zero;
+    seq = 0;
+    tasks = Heap.create ();
+    fibers = [];
+    current = None;
+    stopped = false;
+    crashes = [];
+    on_crash;
+    root_rng = Rng.create seed;
+    trace_buf = Trace.create ?capacity:trace_capacity ();
+  }
+
+let now t = t.now
+let rng t = t.root_rng
+let trace t = t.trace_buf
+let record t msg = Trace.record t.trace_buf t.now msg
+
+let enqueue t time task =
+  let seq = t.seq in
+  t.seq <- seq + 1;
+  Heap.add t.tasks ~time:(Time.to_ns time) ~seq task
+
+let schedule_at t time task =
+  if Time.(time < t.now) then
+    invalid_arg "Engine.schedule_at: time is in the past";
+  enqueue t time task
+
+let schedule_after t delay task = enqueue t (Time.add t.now delay) task
+
+let fiber_name f = f.name
+let fiber_alive f = match f.state with Finished | Crashed -> false | _ -> true
+
+let current_fiber_name t =
+  match t.current with None -> "<scheduler>" | Some f -> f.name
+
+let handle_crash t fiber exn =
+  fiber.state <- Crashed;
+  t.crashes <- (fiber.name, exn) :: t.crashes;
+  record t (Printf.sprintf "crash %s: %s" fiber.name (Printexc.to_string exn))
+
+let effc : type b. t -> fiber -> b Effect.t -> ((b, unit) Effect.Deep.continuation -> unit) option =
+ fun t fiber eff ->
+  match eff with
+  | Suspend_with (reason, register) ->
+    Some
+      (fun (k : (b, unit) Effect.Deep.continuation) ->
+        fiber.state <- Blocked reason;
+        let fired = ref false in
+        let waker (r : (b, exn) result) =
+          if not !fired then begin
+            fired := true;
+            enqueue t t.now (fun () ->
+                let prev = t.current in
+                t.current <- Some fiber;
+                fiber.state <- Runnable;
+                (match r with
+                | Ok v -> Effect.Deep.continue k v
+                | Error e -> Effect.Deep.discontinue k e);
+                t.current <- prev)
+          end
+        in
+        register waker)
+  | _ -> None
+
+let spawn t ?(name = "fiber") ?(daemon = false) f =
+  let fid = t.seq in
+  let fiber = { fid; name; daemon; state = Runnable } in
+  ignore fid;
+  t.fibers <- fiber :: t.fibers;
+  enqueue t t.now (fun () ->
+      let prev = t.current in
+      t.current <- Some fiber;
+      let handler =
+        {
+          Effect.Deep.retc =
+            (fun () -> if fiber.state <> Crashed then fiber.state <- Finished);
+          exnc = (fun exn -> handle_crash t fiber exn);
+          effc = (fun eff -> effc t fiber eff);
+        }
+      in
+      Effect.Deep.match_with f () handler;
+      t.current <- prev);
+  fiber
+
+let suspend t ?(reason = "wait") register =
+  match t.current with
+  | None -> invalid_arg "Engine.suspend: not inside a fiber"
+  | Some _ -> Effect.perform (Suspend_with (reason, register))
+
+let sleep t d =
+  suspend t ~reason:"sleep" (fun waker ->
+      schedule_after t d (fun () -> waker (Ok ())))
+
+let yield t =
+  suspend t ~reason:"yield" (fun waker ->
+      enqueue t t.now (fun () -> waker (Ok ())))
+
+let blocked_fibers t =
+  List.filter_map
+    (fun f ->
+      match (f.daemon, f.state) with
+      | false, Blocked reason -> Some (Printf.sprintf "%s (%s)" f.name reason)
+      | _ -> None)
+    t.fibers
+
+let crashed t = List.rev t.crashes
+
+let drain t ~limit =
+  let continue = ref true in
+  while !continue && not t.stopped do
+    match Heap.peek_time t.tasks with
+    | None -> continue := false
+    | Some time_ns ->
+      (match limit with
+      | Some l when time_ns > Time.to_ns l -> continue := false
+      | _ -> (
+        match Heap.pop t.tasks with
+        | None -> continue := false
+        | Some (time_ns, _seq, task) ->
+          t.now <- Time.ns time_ns;
+          task ()))
+  done
+
+let check_crashes t =
+  match (t.on_crash, t.crashes) with
+  | `Raise, (name, exn) :: _ -> raise (Fiber_crash (name, exn))
+  | _ -> ()
+
+let run ?(expect_quiescent = false) t =
+  t.stopped <- false;
+  drain t ~limit:None;
+  check_crashes t;
+  if expect_quiescent then
+    match blocked_fibers t with
+    | [] -> ()
+    | names -> raise (Deadlock (String.concat ", " names))
+
+let run_until t limit =
+  t.stopped <- false;
+  drain t ~limit:(Some limit);
+  if Time.(t.now < limit) then t.now <- limit;
+  check_crashes t
+
+let stop t = t.stopped <- true

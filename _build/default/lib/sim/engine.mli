@@ -1,0 +1,88 @@
+(** Deterministic discrete-event simulation engine.
+
+    The engine advances a virtual clock and executes tasks from a priority
+    queue.  Simulated processes are {e fibers}: ordinary OCaml functions
+    that suspend via effect handlers whenever they wait for a simulated
+    event.  Execution is single-domain and cooperative, so fibers
+    interleave only at suspension points and a run is a pure function of
+    the seed and the program. *)
+
+type t
+
+type fiber
+(** Handle to a spawned fiber. *)
+
+exception Deadlock of string
+(** Raised by {!run} when [expect_quiescent] is set and blocked
+    non-daemon fibers remain after the event queue drains. *)
+
+exception Fiber_crash of string * exn
+(** Raised by {!run} when a fiber terminated with an uncaught exception
+    and the engine was created with [~on_crash:`Raise] (the default). *)
+
+val create : ?seed:int -> ?trace_capacity:int -> ?on_crash:[ `Raise | `Record ] -> unit -> t
+(** [create ()] makes an engine with virtual time 0.  [seed] (default 42)
+    initialises the root RNG. *)
+
+val now : t -> Time.t
+val rng : t -> Rng.t
+val trace : t -> Trace.t
+
+val record : t -> string -> unit
+(** Records a trace event at the current virtual time. *)
+
+(** {1 Scheduling} *)
+
+val schedule_at : t -> Time.t -> (unit -> unit) -> unit
+(** Runs a task at the given absolute virtual time (must not be in the
+    past).  Tasks run in scheduler context: they must not suspend. *)
+
+val schedule_after : t -> Time.t -> (unit -> unit) -> unit
+
+val spawn : t -> ?name:string -> ?daemon:bool -> (unit -> unit) -> fiber
+(** Starts a fiber at the current virtual time.  [daemon] fibers (default
+    false) are expected to outlive the simulation and are excluded from
+    quiescence accounting. *)
+
+val fiber_name : fiber -> string
+val fiber_alive : fiber -> bool
+
+(** {1 Running} *)
+
+val run : ?expect_quiescent:bool -> t -> unit
+(** Executes tasks until the event queue is empty or {!stop} is called.
+    With [expect_quiescent] (default false), raises {!Deadlock} if
+    non-daemon fibers are still blocked when the queue drains. *)
+
+val run_until : t -> Time.t -> unit
+(** Runs events with timestamps [<=] the given time, then stops (the
+    clock is left at the limit). *)
+
+val stop : t -> unit
+(** Makes {!run} return after the current task. *)
+
+val crashed : t -> (string * exn) list
+(** Fibers that died with an uncaught exception (when [~on_crash:`Record]). *)
+
+val blocked_fibers : t -> string list
+(** Names of non-daemon fibers currently suspended. *)
+
+(** {1 Fiber operations — callable only inside a fiber} *)
+
+type 'a waker = ('a, exn) result -> unit
+(** Resumes a suspended fiber with a value or an exception.  Idempotent:
+    calls after the first are ignored, so races between a completion and
+    a cancellation are safe. *)
+
+val suspend : t -> ?reason:string -> ('a waker -> unit) -> 'a
+(** [suspend t register] suspends the current fiber and calls [register]
+    with a waker.  The fiber resumes when the waker is invoked. *)
+
+val sleep : t -> Time.t -> unit
+(** Advances the fiber's virtual time by the given duration. *)
+
+val yield : t -> unit
+(** Re-queues the fiber at the current time, letting same-time tasks run. *)
+
+val current_fiber_name : t -> string
+(** Name of the running fiber, or ["<scheduler>"] outside any fiber. *)

@@ -1,0 +1,21 @@
+(** Binary min-heap keyed by [(time, seq)].
+
+    The sequence number breaks ties between events scheduled for the same
+    virtual time, guaranteeing a deterministic FIFO order for simultaneous
+    events. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val add : 'a t -> time:int -> seq:int -> 'a -> unit
+
+val pop : 'a t -> (int * int * 'a) option
+(** Removes and returns the entry with the smallest [(time, seq)] key. *)
+
+val peek_time : 'a t -> int option
+(** Key time of the minimum entry, without removing it. *)
+
+val clear : 'a t -> unit

@@ -1,0 +1,25 @@
+(** Deterministic splitmix64 pseudo-random generator.
+
+    All stochastic behaviour in the simulator (CSMA backoff, broadcast
+    loss, workload generation) draws from one of these, so a run is fully
+    reproducible from its seed. *)
+
+type t
+
+val create : int -> t
+(** [create seed] makes a fresh generator. *)
+
+val split : t -> t
+(** Derives an independent child generator; the parent advances once. *)
+
+val next_int64 : t -> int64
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val bool : t -> float -> bool
+(** [bool t p] is true with probability [p]. *)
+
+val shuffle : t -> 'a array -> unit

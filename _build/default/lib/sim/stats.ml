@@ -1,0 +1,73 @@
+type t = (string, int ref) Hashtbl.t
+
+let create () : t = Hashtbl.create 64
+
+let incr ?(by = 1) t name =
+  match Hashtbl.find_opt t name with
+  | Some r -> r := !r + by
+  | None -> Hashtbl.add t name (ref by)
+
+let get t name = match Hashtbl.find_opt t name with Some r -> !r | None -> 0
+
+let to_list t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let clear = Hashtbl.reset
+let snapshot = to_list
+
+let diff ~before ~after =
+  let base = Hashtbl.create 16 in
+  List.iter (fun (k, v) -> Hashtbl.replace base k v) before;
+  List.filter_map
+    (fun (k, v) ->
+      let prev = Option.value ~default:0 (Hashtbl.find_opt base k) in
+      if v = prev then None else Some (k, v - prev))
+    after
+
+let pp ppf t =
+  Format.pp_open_vbox ppf 0;
+  List.iter (fun (k, v) -> Format.fprintf ppf "%-40s %d@," k v) (to_list t);
+  Format.pp_close_box ppf ()
+
+module Series = struct
+  type s = { mutable obs : Time.t list; mutable n : int }
+
+  let create () = { obs = []; n = 0 }
+
+  let add s t =
+    s.obs <- t :: s.obs;
+    s.n <- s.n + 1
+
+  let count s = s.n
+
+  let fail_empty () = invalid_arg "Stats.Series: empty series"
+
+  let mean s =
+    if s.n = 0 then fail_empty ();
+    let total = List.fold_left (fun acc t -> acc + Time.to_ns t) 0 s.obs in
+    Time.ns (total / s.n)
+
+  let min s =
+    if s.n = 0 then fail_empty ();
+    List.fold_left Time.min (List.hd s.obs) s.obs
+
+  let max s =
+    if s.n = 0 then fail_empty ();
+    List.fold_left Time.max (List.hd s.obs) s.obs
+
+  let percentile s p =
+    if s.n = 0 then fail_empty ();
+    let sorted = List.sort Time.compare s.obs |> Array.of_list in
+    let rank =
+      Stdlib.min (Array.length sorted - 1)
+        (int_of_float (Float.round (p *. float_of_int (Array.length sorted - 1))))
+    in
+    sorted.(rank)
+
+  let pp ppf s =
+    if s.n = 0 then Format.fprintf ppf "(empty)"
+    else
+      Format.fprintf ppf "n=%d mean=%a min=%a max=%a" s.n Time.pp (mean s)
+        Time.pp (min s) Time.pp (max s)
+end

@@ -1,0 +1,42 @@
+(** Named counters and latency recorders for instrumentation.
+
+    Kernels and LYNX backends increment counters as they run; benches and
+    tests snapshot them afterwards.  Counters are cheap and passive — they
+    never affect simulation behaviour. *)
+
+type t
+
+val create : unit -> t
+
+val incr : ?by:int -> t -> string -> unit
+val get : t -> string -> int
+(** 0 for a counter that was never incremented. *)
+
+val to_list : t -> (string * int) list
+(** All counters, sorted by name. *)
+
+val clear : t -> unit
+
+val snapshot : t -> (string * int) list
+val diff : before:(string * int) list -> after:(string * int) list -> (string * int) list
+(** Per-counter increase between two snapshots (counters that did not
+    change are omitted). *)
+
+val pp : Format.formatter -> t -> unit
+
+module Series : sig
+  (** Accumulates observations (virtual durations) for summary stats. *)
+
+  type s
+
+  val create : unit -> s
+  val add : s -> Time.t -> unit
+  val count : s -> int
+  val mean : s -> Time.t
+  val min : s -> Time.t
+  val max : s -> Time.t
+  val percentile : s -> float -> Time.t
+  (** [percentile s 0.99]; nearest-rank on the sorted observations. *)
+
+  val pp : Format.formatter -> s -> unit
+end

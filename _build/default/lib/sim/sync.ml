@@ -1,0 +1,117 @@
+module Waitq = struct
+  type 'a t = { engine : Engine.t; q : 'a Engine.waker Queue.t }
+
+  let create engine = { engine; q = Queue.create () }
+
+  let wait t =
+    Engine.suspend t.engine ~reason:"waitq" (fun waker -> Queue.add waker t.q)
+
+  let signal t v =
+    match Queue.take_opt t.q with
+    | None -> false
+    | Some waker ->
+      waker (Ok v);
+      true
+
+  let signal_error t exn =
+    match Queue.take_opt t.q with
+    | None -> false
+    | Some waker ->
+      waker (Error exn);
+      true
+
+  let broadcast_error t exn =
+    let n = Queue.length t.q in
+    Queue.iter (fun waker -> waker (Error exn)) t.q;
+    Queue.clear t.q;
+    n
+
+  let waiters t = Queue.length t.q
+end
+
+module Ivar = struct
+  type 'a state = Empty | Full of 'a | Failed of exn
+
+  type 'a t = { mutable state : 'a state; waiters : 'a Waitq.t }
+
+  let create engine = { state = Empty; waiters = Waitq.create engine }
+
+  let fill t v =
+    match t.state with
+    | Empty ->
+      t.state <- Full v;
+      while Waitq.signal t.waiters v do
+        ()
+      done
+    | Full _ | Failed _ -> invalid_arg "Ivar.fill: already filled"
+
+  let fill_error t exn =
+    match t.state with
+    | Empty ->
+      t.state <- Failed exn;
+      ignore (Waitq.broadcast_error t.waiters exn)
+    | Full _ | Failed _ -> invalid_arg "Ivar.fill_error: already filled"
+
+  let try_fill t v =
+    match t.state with
+    | Empty ->
+      fill t v;
+      true
+    | Full _ | Failed _ -> false
+
+  let read t =
+    match t.state with
+    | Full v -> v
+    | Failed exn -> raise exn
+    | Empty -> Waitq.wait t.waiters
+
+  let is_filled t = match t.state with Empty -> false | _ -> true
+  let peek t = match t.state with Full v -> Some v | _ -> None
+end
+
+module Mailbox = struct
+  type 'a t = {
+    items : 'a Queue.t;
+    takers : 'a Waitq.t;
+    mutable poisoned : exn option;
+  }
+
+  let create engine =
+    { items = Queue.create (); takers = Waitq.create engine; poisoned = None }
+
+  let put t v =
+    if not (Waitq.signal t.takers v) then Queue.add v t.items
+
+  let take t =
+    match Queue.take_opt t.items with
+    | Some v -> v
+    | None -> (
+      match t.poisoned with
+      | Some exn -> raise exn
+      | None -> Waitq.wait t.takers)
+
+  let take_opt t = Queue.take_opt t.items
+  let peek_opt t = Queue.peek_opt t.items
+  let length t = Queue.length t.items
+  let is_empty t = Queue.is_empty t.items
+
+  let poison t exn =
+    t.poisoned <- Some exn;
+    ignore (Waitq.broadcast_error t.takers exn)
+end
+
+module Semaphore = struct
+  type t = { mutable count : int; waiters : unit Waitq.t }
+
+  let create engine count =
+    if count < 0 then invalid_arg "Semaphore.create: negative count";
+    { count; waiters = Waitq.create engine }
+
+  let acquire t =
+    if t.count > 0 then t.count <- t.count - 1 else Waitq.wait t.waiters
+
+  let release t =
+    if not (Waitq.signal t.waiters ()) then t.count <- t.count + 1
+
+  let available t = t.count
+end

@@ -1,0 +1,29 @@
+type t = int
+
+let zero = 0
+let ns n = n
+let us n = n * 1_000
+let ms n = n * 1_000_000
+let sec n = n * 1_000_000_000
+let of_ms_float f = int_of_float (Float.round (f *. 1e6))
+let of_us_float f = int_of_float (Float.round (f *. 1e3))
+let to_ns t = t
+let to_us t = float_of_int t /. 1e3
+let to_ms t = float_of_int t /. 1e6
+let to_sec t = float_of_int t /. 1e9
+let add a b = a + b
+let sub a b = Stdlib.max 0 (a - b)
+let diff a b = abs (a - b)
+let scale t k = t * k
+let mul_float t f = int_of_float (Float.round (float_of_int t *. f))
+let compare = Int.compare
+let equal = Int.equal
+let ( < ) (a : t) b = Stdlib.( < ) a b
+let ( <= ) (a : t) b = Stdlib.( <= ) a b
+let ( > ) (a : t) b = Stdlib.( > ) a b
+let ( >= ) (a : t) b = Stdlib.( >= ) a b
+let max (a : t) b = Stdlib.max a b
+let min (a : t) b = Stdlib.min a b
+let is_zero t = t = 0
+let pp ppf t = Format.fprintf ppf "%.3fms" (to_ms t)
+let to_string t = Format.asprintf "%a" pp t

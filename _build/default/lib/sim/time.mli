@@ -1,0 +1,50 @@
+(** Virtual time for the discrete-event simulator.
+
+    Time is an integer count of nanoseconds since the start of the
+    simulation.  Integers keep the simulator fully deterministic: there is
+    no floating-point drift, and two runs with the same seed produce
+    identical event orderings. *)
+
+type t = private int
+
+val zero : t
+val ns : int -> t
+val us : int -> t
+val ms : int -> t
+val sec : int -> t
+
+val of_ms_float : float -> t
+(** [of_ms_float f] is [f] milliseconds, rounded to the nearest ns. *)
+
+val of_us_float : float -> t
+
+val to_ns : t -> int
+val to_us : t -> float
+val to_ms : t -> float
+val to_sec : t -> float
+
+val add : t -> t -> t
+val sub : t -> t -> t
+(** [sub a b] saturates at {!zero} rather than going negative. *)
+
+val diff : t -> t -> t
+(** [diff a b] is [abs (a - b)]. *)
+
+val scale : t -> int -> t
+val mul_float : t -> float -> t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val ( < ) : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( > ) : t -> t -> bool
+val ( >= ) : t -> t -> bool
+val max : t -> t -> t
+val min : t -> t -> t
+
+val is_zero : t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Prints as milliseconds with microsecond precision, e.g. ["57.231ms"]. *)
+
+val to_string : t -> string

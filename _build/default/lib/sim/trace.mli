@@ -1,0 +1,27 @@
+(** Bounded event trace with an order-sensitive running hash.
+
+    The hash folds every recorded event (including those that have been
+    evicted from the bounded window), so comparing the hashes of two runs
+    checks that the complete event sequences are identical — the backbone
+    of the determinism tests. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] bounds the retained window (default 4096 events). *)
+
+val record : t -> Time.t -> string -> unit
+
+val count : t -> int
+(** Total events ever recorded, not just those retained. *)
+
+val hash : t -> int
+(** Running FNV-1a hash over all recorded events, in order. *)
+
+val recent : t -> int -> (Time.t * string) list
+(** [recent t n] is the last [n] retained events, oldest first. *)
+
+val set_echo : t -> (Time.t -> string -> unit) option -> unit
+(** Optional sink invoked synchronously on every record (for debugging). *)
+
+val clear : t -> unit

@@ -1,0 +1,1 @@
+lib/soda/costs.ml: Sim

@@ -1,0 +1,1 @@
+lib/soda/kernel.ml: Bytes Costs Engine Hashtbl List Netmodel Printf Queue Rng Sim Stats Sync Time Types

@@ -1,0 +1,1 @@
+lib/soda/kernel.mli: Costs Sim Types

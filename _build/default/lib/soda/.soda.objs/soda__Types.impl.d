@@ -1,0 +1,1 @@
+lib/soda/types.ml:

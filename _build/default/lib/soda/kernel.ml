@@ -1,0 +1,385 @@
+open Sim
+open Types
+
+exception Process_exit
+
+type req_state = In_flight | Presented | Finished
+
+type req = {
+  q_id : req_id;
+  q_src : pid;
+  q_dst : pid;
+  q_name : name;
+  q_oob : oob;
+  q_data : bytes;
+  q_recv_max : int;
+  mutable q_state : req_state;
+}
+
+type process = {
+  p_id : pid;
+  p_node : node;
+  p_label : string;
+  mutable p_alive : bool;
+  mutable p_handler : (interrupt -> unit) option;
+  mutable p_masked : bool;
+  p_queued : interrupt Queue.t;  (* completions queued while masked *)
+  p_advertised : (name, unit) Hashtbl.t;
+  p_presented : (req_id, req) Hashtbl.t;  (* requests awaiting our accept *)
+}
+
+type t = {
+  eng : Engine.t;
+  cst : Costs.t;
+  sts : Stats.t;
+  bus : Netmodel.Csma_bus.t;
+  procs : (pid, process) Hashtbl.t;
+  reqs : (req_id, req) Hashtbl.t;
+  pair_count : (pid * pid, int ref) Hashtbl.t;
+  mutable next_pid : int;
+  mutable next_name : int;
+  mutable next_req : int;
+}
+
+let create eng ?(costs = Costs.default) ?stats ~nodes () =
+  let sts = match stats with Some s -> s | None -> Stats.create () in
+  {
+    eng;
+    cst = costs;
+    sts;
+    bus =
+      Netmodel.Csma_bus.create eng ~stats:sts ~rng:(Rng.split (Engine.rng eng))
+        ~broadcast_loss:costs.Costs.broadcast_loss ~stations:nodes ();
+    procs = Hashtbl.create 16;
+    reqs = Hashtbl.create 64;
+    pair_count = Hashtbl.create 32;
+    next_pid = 0;
+    next_name = 0;
+    next_req = 0;
+  }
+
+let engine t = t.eng
+let stats t = t.sts
+let costs t = t.cst
+let nodes t = Netmodel.Csma_bus.stations t.bus
+
+let proc t pid =
+  match Hashtbl.find_opt t.procs pid with
+  | Some p -> p
+  | None -> invalid_arg (Printf.sprintf "soda: unknown pid %d" pid)
+
+let process_alive t pid = (proc t pid).p_alive
+let process_node t pid = (proc t pid).p_node
+let pids t = Hashtbl.fold (fun pid _ acc -> pid :: acc) t.procs [] |> List.sort compare
+
+let pair t src dst =
+  match Hashtbl.find_opt t.pair_count (src, dst) with
+  | Some r -> r
+  | None ->
+    let r = ref 0 in
+    Hashtbl.add t.pair_count (src, dst) r;
+    r
+
+let outstanding t ~src ~dst = !(pair t src dst)
+
+(* Client-processor cost of issuing a kernel call or fielding an
+   interrupt; the kernel processor runs concurrently, so this is small. *)
+let charge t = Engine.sleep t.eng t.cst.Costs.interrupt_cpu
+
+(* Deliver an interrupt to a process's handler.  Runs in scheduler
+   context; handlers must not block (they may only record state and wake
+   fibers), mirroring SODA's interrupt discipline. *)
+let deliver t p intr =
+  if p.p_alive then begin
+    match (p.p_handler, p.p_masked, intr) with
+    | Some h, false, _ ->
+      Stats.incr t.sts "soda.interrupts";
+      h intr
+    | _, _, (Completed _ | Aborted _ | Withdrawn _) ->
+      Stats.incr t.sts "soda.interrupts_queued";
+      Queue.add intr p.p_queued
+    | _, _, Request _ ->
+      (* Requests are never queued at the target while masked: the
+         requesting kernel retries them (handled in [present]). *)
+      assert false
+  end
+
+(* ---- Names ----------------------------------------------------------- *)
+
+let new_name t _pid =
+  let n = t.next_name in
+  t.next_name <- n + 1;
+  n
+
+let advertise t pid name_ =
+  let p = proc t pid in
+  Hashtbl.replace p.p_advertised name_ ()
+
+let unadvertise t pid name_ =
+  let p = proc t pid in
+  Hashtbl.remove p.p_advertised name_
+
+let advertises t pid name_ = Hashtbl.mem (proc t pid).p_advertised name_
+
+(* ---- Requests --------------------------------------------------------- *)
+
+let finish_req t (q : req) =
+  if q.q_state <> Finished then begin
+    q.q_state <- Finished;
+    let r = pair t q.q_src q.q_dst in
+    decr r
+  end
+
+let abort_req t (q : req) reason =
+  if q.q_state <> Finished then begin
+    finish_req t q;
+    Stats.incr t.sts "soda.aborts";
+    (match Hashtbl.find_opt t.procs q.q_src with
+    | Some src when src.p_alive ->
+      deliver t src (Aborted { a_id = q.q_id; a_reason = reason })
+    | _ -> ())
+  end
+
+(* Present a request at its destination, retrying while the destination
+   handler is masked (the requesting kernel's periodic retry). *)
+let rec present t (q : req) =
+  if q.q_state = In_flight then begin
+    match Hashtbl.find_opt t.procs q.q_dst with
+    | None -> abort_req t q Peer_crashed
+    | Some dst ->
+      if not dst.p_alive then abort_req t q Peer_crashed
+      else if not (Hashtbl.mem dst.p_advertised q.q_name) then
+        abort_req t q Name_not_advertised
+      else if dst.p_masked || dst.p_handler = None then begin
+        Stats.incr t.sts "soda.request_retries";
+        Engine.schedule_after t.eng t.cst.Costs.retry_interval (fun () ->
+            present t q)
+      end
+      else begin
+        q.q_state <- Presented;
+        Hashtbl.replace dst.p_presented q.q_id q;
+        deliver t dst
+          (Request
+             {
+               i_id = q.q_id;
+               i_from = q.q_src;
+               i_name = q.q_name;
+               i_oob = q.q_oob;
+               i_send_len = Bytes.length q.q_data;
+               i_recv_max = q.q_recv_max;
+             })
+      end
+  end
+
+let request t pid ~dst ~name:name_ ~oob ~data ~recv_max =
+  charge t;
+  let src = proc t pid in
+  if not src.p_alive then invalid_arg "soda.request: dead caller";
+  if Bytes.length oob > t.cst.Costs.oob_limit then Error `Oob_too_big
+  else begin
+    let counter = pair t pid dst in
+    if !counter >= t.cst.Costs.pair_limit then begin
+      Stats.incr t.sts "soda.pair_limit_hits";
+      Error `Pair_limit
+    end
+    else begin
+      incr counter;
+      let id = t.next_req in
+      t.next_req <- id + 1;
+      let q =
+        {
+          q_id = id;
+          q_src = pid;
+          q_dst = dst;
+          q_name = name_;
+          q_oob = oob;
+          q_data = data;
+          q_recv_max = recv_max;
+          q_state = In_flight;
+        }
+      in
+      Hashtbl.add t.reqs id q;
+      Stats.incr t.sts "soda.requests";
+      (* Request leg: kernel processing + a small frame on the bus. *)
+      let dst_node =
+        match Hashtbl.find_opt t.procs dst with
+        | Some p -> p.p_node
+        | None -> src.p_node
+      in
+      let duration =
+        Time.add t.cst.Costs.op_fixed
+          (Costs.transfer_time t.cst ~bytes:(Bytes.length oob))
+      in
+      Netmodel.Csma_bus.transmit t.bus ~src:src.p_node ~dst:dst_node ~duration
+        ~on_delivered:(fun () -> present t q);
+      Ok id
+    end
+  end
+
+let accept t pid ~req ~oob ~data ~recv_max =
+  charge t;
+  let p = proc t pid in
+  if Bytes.length oob > t.cst.Costs.oob_limit then
+    invalid_arg "soda.accept: oob too big";
+  match Hashtbl.find_opt p.p_presented req with
+  | None -> Error `Unknown
+  | Some q ->
+    Hashtbl.remove p.p_presented req;
+    if q.q_state <> Presented then Error `Unknown
+    else (
+      match Hashtbl.find_opt t.procs q.q_src with
+      | Some src when src.p_alive ->
+        finish_req t q;
+        Stats.incr t.sts "soda.accepts";
+        let taken = min (Bytes.length q.q_data) recv_max in
+        let back =
+          if Bytes.length data <= q.q_recv_max then data
+          else Bytes.sub data 0 q.q_recv_max
+        in
+        (* Inbound leg: the requester's data reaches us now; the calling
+           fiber waits out the transfer. *)
+        Engine.sleep t.eng (Costs.transfer_time t.cst ~bytes:taken);
+        (* Outbound leg: kernel processing plus our data on the bus;
+           the requester feels the completion when it lands. *)
+        let duration =
+          Time.add t.cst.Costs.op_fixed
+            (Costs.transfer_time t.cst ~bytes:(Bytes.length back))
+        in
+        Netmodel.Csma_bus.transmit t.bus ~src:p.p_node ~dst:src.p_node
+          ~duration ~on_delivered:(fun () ->
+            deliver t src
+              (Completed
+                 { c_id = q.q_id; c_oob = oob; c_data = back; c_taken = taken }));
+        Ok (Bytes.sub q.q_data 0 taken)
+      | _ ->
+        finish_req t q;
+        Error `Requester_gone)
+
+let withdraw t pid req_id =
+  charge t;
+  match Hashtbl.find_opt t.reqs req_id with
+  | None -> false
+  | Some q ->
+    if q.q_src <> pid || q.q_state = Finished then false
+    else begin
+      let was_presented = q.q_state = Presented in
+      finish_req t q;
+      Stats.incr t.sts "soda.withdrawals";
+      if was_presented then (
+        match Hashtbl.find_opt t.procs q.q_dst with
+        | Some dst when dst.p_alive ->
+          Hashtbl.remove dst.p_presented q.q_id;
+          deliver t dst (Withdrawn { w_id = q.q_id })
+        | _ -> ());
+      true
+    end
+
+(* ---- Discover --------------------------------------------------------- *)
+
+let discover t pid name_ =
+  charge t;
+  Stats.incr t.sts "soda.discovers";
+  let p = proc t pid in
+  let responses = Sync.Mailbox.create t.eng in
+  let duration = t.cst.Costs.op_fixed in
+  Netmodel.Csma_bus.broadcast t.bus ~src:p.p_node ~duration
+    ~on_delivered:(fun station ->
+      (* Kernel processors answer directly; no client involvement. *)
+      Hashtbl.iter
+        (fun _ (cand : process) ->
+          if
+            cand.p_node = station && cand.p_alive
+            && Hashtbl.mem cand.p_advertised name_
+          then
+            Netmodel.Csma_bus.transmit t.bus ~src:cand.p_node ~dst:p.p_node
+              ~duration ~on_delivered:(fun () ->
+                Sync.Mailbox.put responses cand.p_id))
+        t.procs);
+  (* Wait for the first response or the timeout. *)
+  Engine.suspend t.eng ~reason:"soda.discover" (fun waker ->
+      let decided = ref false in
+      Engine.schedule_after t.eng t.cst.Costs.discover_timeout (fun () ->
+          if not !decided then begin
+            decided := true;
+            waker (Ok None)
+          end);
+      (* Poll the mailbox via a scheduler-side taker. *)
+      let rec poll () =
+        match Sync.Mailbox.take_opt responses with
+        | Some r ->
+          if not !decided then begin
+            decided := true;
+            waker (Ok (Some r))
+          end
+        | None ->
+          if not !decided then
+            Engine.schedule_after t.eng (Time.us 500) (fun () -> poll ())
+      in
+      poll ())
+
+(* ---- Interrupt management --------------------------------------------- *)
+
+let set_handler t pid h =
+  let p = proc t pid in
+  p.p_handler <- Some h;
+  if not p.p_masked then
+    while not (Queue.is_empty p.p_queued) do
+      deliver t p (Queue.take p.p_queued)
+    done
+
+let mask t pid = (proc t pid).p_masked <- true
+
+let unmask t pid =
+  let p = proc t pid in
+  p.p_masked <- false;
+  if p.p_handler <> None then
+    while not (Queue.is_empty p.p_queued) do
+      deliver t p (Queue.take p.p_queued)
+    done
+
+(* ---- Lifecycle -------------------------------------------------------- *)
+
+let terminate t pid =
+  let p = proc t pid in
+  if p.p_alive then begin
+    p.p_alive <- false;
+    Stats.incr t.sts "soda.terminations";
+    (* Requests presented to us and never accepted: requesters feel a
+       crash interrupt ("if a process dies before accepting a request,
+       the requester feels an interrupt", §4.1). *)
+    Hashtbl.iter (fun _ q -> abort_req t q Peer_crashed) p.p_presented;
+    Hashtbl.reset p.p_presented;
+    (* Our own in-flight requests die quietly with us. *)
+    Hashtbl.iter
+      (fun _ (q : req) -> if q.q_src = pid then finish_req t q)
+      t.reqs
+  end
+
+let spawn_process t ?(daemon = false) ~node ~name:label body =
+  if node < 0 || node >= nodes t then invalid_arg "soda: bad node";
+  Hashtbl.iter
+    (fun _ (p : process) ->
+      if p.p_node = node && p.p_alive then
+        invalid_arg "soda: node already occupied (client processors are not multiprogrammed)")
+    t.procs;
+  let pid = t.next_pid in
+  t.next_pid <- pid + 1;
+  let p =
+    {
+      p_id = pid;
+      p_node = node;
+      p_label = label;
+      p_alive = true;
+      p_handler = None;
+      p_masked = false;
+      p_queued = Queue.create ();
+      p_advertised = Hashtbl.create 8;
+      p_presented = Hashtbl.create 8;
+    }
+  in
+  Hashtbl.add t.procs pid p;
+  ignore
+    (Engine.spawn t.eng ~name:label ~daemon (fun () ->
+         (try body pid with Process_exit -> ());
+         terminate t pid));
+  pid

@@ -1,0 +1,1 @@
+test/test_backends.ml: Alcotest Bytes Engine Harness List Lynx Lynx_charlotte Lynx_chrysalis Lynx_soda QCheck QCheck_alcotest Sim Soda Stats Sync Time

@@ -1,0 +1,1 @@
+test/test_charlotte_kernel.ml: Alcotest Bytes Charlotte Engine List Option Sim Sync Time

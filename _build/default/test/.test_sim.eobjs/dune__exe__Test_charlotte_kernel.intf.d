@@ -1,0 +1,1 @@
+test/test_charlotte_kernel.mli:

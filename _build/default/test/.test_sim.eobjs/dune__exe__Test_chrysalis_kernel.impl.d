@@ -1,0 +1,1 @@
+test/test_chrysalis_kernel.ml: Alcotest Bytes Chrysalis Engine List Option Printf Sim Sync Time

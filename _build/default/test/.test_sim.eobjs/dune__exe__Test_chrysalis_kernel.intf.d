@@ -1,0 +1,1 @@
+test/test_chrysalis_kernel.mli:

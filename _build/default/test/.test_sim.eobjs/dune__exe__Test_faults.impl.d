@@ -1,0 +1,1 @@
+test/test_faults.ml: Alcotest Engine Harness List Lynx Printf QCheck QCheck_alcotest Rng Sim Time

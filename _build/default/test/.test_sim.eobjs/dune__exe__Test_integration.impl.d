@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Engine Harness List Lynx Printf QCheck QCheck_alcotest Rng Sim String Sync Time

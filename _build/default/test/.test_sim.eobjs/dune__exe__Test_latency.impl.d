@@ -1,0 +1,1 @@
+test/test_latency.ml: Alcotest Float Harness Printf Sim

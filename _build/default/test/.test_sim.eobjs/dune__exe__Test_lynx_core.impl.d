@@ -1,0 +1,1 @@
+test/test_lynx_core.ml: Alcotest Bytes Format List Lynx QCheck QCheck_alcotest

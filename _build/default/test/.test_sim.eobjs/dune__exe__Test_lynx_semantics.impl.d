@@ -1,0 +1,1 @@
+test/test_lynx_semantics.ml: Alcotest Array Char Engine Harness List Lynx Printf Sim Stats String Sync Time

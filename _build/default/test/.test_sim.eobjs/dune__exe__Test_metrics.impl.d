@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest Array Filename Fun List Metrics Printf String Sys Unix

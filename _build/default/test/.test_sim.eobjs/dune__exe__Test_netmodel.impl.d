@@ -1,0 +1,1 @@
+test/test_netmodel.ml: Alcotest Engine List Netmodel Rng Sim Stats Time

@@ -1,0 +1,1 @@
+test/test_scenarios.ml: Alcotest Engine Harness List Lynx Printf Sim String Sync Time

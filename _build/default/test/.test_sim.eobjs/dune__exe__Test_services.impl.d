@@ -1,0 +1,1 @@
+test/test_services.ml: Alcotest Engine Harness List Lynx Printf Sim String Sync Time

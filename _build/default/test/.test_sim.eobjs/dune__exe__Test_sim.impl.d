@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Engine Fun Heap List Printf QCheck QCheck_alcotest Rng Sim Stats String Sync Time Trace

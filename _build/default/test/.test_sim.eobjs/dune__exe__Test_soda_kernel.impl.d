@@ -1,0 +1,1 @@
+test/test_soda_kernel.ml: Alcotest Bytes Engine List Sim Soda Stats Sync Time

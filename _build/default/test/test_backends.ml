@@ -1,0 +1,413 @@
+(* Backend-specific machinery tests: wire codecs (with properties) and
+   the hint-repair paths of the SODA backend. *)
+
+open Sim
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+
+(* ---- Charlotte packet codec ------------------------------------------- *)
+
+let charlotte_packets =
+  let dh ?(corr = 7) ?(n = 0) ?(exn = None) op payload =
+    {
+      Lynx_charlotte.Packet.d_seq = 123;
+      d_corr = corr;
+      d_op = op;
+      d_exn = exn;
+      d_n_encl = n;
+      d_payload = Bytes.of_string payload;
+    }
+  in
+  [
+    Alcotest.test_case "data packet round trip" `Quick (fun () ->
+        let open Lynx_charlotte.Packet in
+        let h = Req_first (dh "op-name" "payload bytes" ~n:3) in
+        match decode (encode h) with
+        | Req_first d ->
+          checki "seq" 123 d.d_seq;
+          checki "corr" 7 d.d_corr;
+          Alcotest.check Alcotest.string "op" "op-name" d.d_op;
+          checki "n_encl" 3 d.d_n_encl;
+          Alcotest.check Alcotest.string "payload" "payload bytes"
+            (Bytes.to_string d.d_payload)
+        | _ -> Alcotest.fail "wrong header");
+    Alcotest.test_case "exception replies round trip" `Quick (fun () ->
+        let open Lynx_charlotte.Packet in
+        let h = Rep_first (dh "op" "" ~exn:(Some "boom")) in
+        match decode (encode h) with
+        | Rep_first d -> checkb "exn" true (d.d_exn = Some "boom")
+        | _ -> Alcotest.fail "wrong header");
+    Alcotest.test_case "control packets round trip" `Quick (fun () ->
+        let open Lynx_charlotte.Packet in
+        List.iter
+          (fun h ->
+            checkb (label h) true
+              (match (h, decode (encode h)) with
+              | Goahead { g_seq = a }, Goahead { g_seq = b } -> a = b
+              | Retry { r_seq = a }, Retry { r_seq = b } -> a = b
+              | Forbid { f_seq = a }, Forbid { f_seq = b } -> a = b
+              | Allow, Allow -> true
+              | ( Enc { e_seq = a; e_kind = ka; e_index = ia },
+                  Enc { e_seq = b; e_kind = kb; e_index = ib } ) ->
+                a = b && ka = kb && ia = ib
+              | _ -> false))
+          [
+            Goahead { g_seq = 9 };
+            Retry { r_seq = 10 };
+            Forbid { f_seq = 11 };
+            Allow;
+            Enc { e_seq = 12; e_kind = Lynx.Backend.Reply; e_index = 2 };
+          ]);
+    Alcotest.test_case "garbage rejected" `Quick (fun () ->
+        checkb "malformed" true
+          (match Lynx_charlotte.Packet.decode (Bytes.of_string "\042xyz") with
+          | _ -> false
+          | exception Lynx_charlotte.Packet.Malformed -> true));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"data packets round trip (property)" ~count:200
+         QCheck.(
+           quad small_nat (string_of_size (QCheck.Gen.int_bound 30))
+             (string_of_size (QCheck.Gen.int_bound 200))
+             (int_bound 200))
+         (fun (n_encl, op, payload, corr) ->
+           let open Lynx_charlotte.Packet in
+           let h =
+             Req_first
+               {
+                 d_seq = 1;
+                 d_corr = corr;
+                 d_op = op;
+                 d_exn = None;
+                 d_n_encl = n_encl land 0xff;
+                 d_payload = Bytes.of_string payload;
+               }
+           in
+           match decode (encode h) with
+           | Req_first d ->
+             d.d_op = op
+             && Bytes.to_string d.d_payload = payload
+             && d.d_corr = corr
+             && d.d_n_encl = n_encl land 0xff
+           | _ -> false));
+  ]
+
+(* ---- SODA wire codec ----------------------------------------------------- *)
+
+let soda_wire =
+  [
+    Alcotest.test_case "body round trip with enclosures" `Quick (fun () ->
+        let open Lynx_soda.Wire in
+        let body =
+          {
+            b_corr = 5;
+            b_op = "transfer";
+            b_exn = None;
+            b_encl =
+              [
+                { e_my_name = 10; e_far_name = 11; e_hint = 3 };
+                { e_my_name = 20; e_far_name = 21; e_hint = 4 };
+              ];
+            b_payload = Bytes.of_string "data";
+          }
+        in
+        let back = decode_body (encode_body body) in
+        checkb "equal" true (back = body));
+    Alcotest.test_case "oob tags round trip" `Quick (fun () ->
+        let open Lynx_soda.Wire in
+        List.iter
+          (fun o -> checkb "req oob" true (decode_req_oob (encode_req_oob o) = Some o))
+          [ Msg Lynx.Backend.Request; Msg Lynx.Backend.Reply; Sig; Freeze 42; Unfreeze ];
+        List.iter
+          (fun o -> checkb "acc oob" true (decode_acc_oob (encode_acc_oob o) = Some o))
+          [ Ok_taken; Destroyed; Moved 17; Hint 3; No_hint ]);
+    Alcotest.test_case "oob stays within SODA's size limit" `Quick (fun () ->
+        let open Lynx_soda.Wire in
+        let limit = Soda.Costs.default.Soda.Costs.oob_limit in
+        List.iter
+          (fun o ->
+            checkb "small enough" true
+              (Bytes.length (encode_req_oob o) <= limit))
+          [ Msg Lynx.Backend.Request; Sig; Freeze max_int; Unfreeze ];
+        List.iter
+          (fun o ->
+            checkb "small enough" true
+              (Bytes.length (encode_acc_oob o) <= limit))
+          [ Ok_taken; Destroyed; Moved max_int; Hint max_int; No_hint ]);
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"soda body round trip (property)" ~count:200
+         QCheck.(
+           pair
+             (pair (string_of_size (QCheck.Gen.int_bound 20)) (string_of_size (QCheck.Gen.int_bound 300)))
+             (pair (option (string_of_size (QCheck.Gen.int_bound 20))) (int_bound 1000)))
+         (fun ((op, payload), (exn, corr)) ->
+           let open Lynx_soda.Wire in
+           let body =
+             {
+               b_corr = corr;
+               b_op = op;
+               b_exn = exn;
+               b_encl = [];
+               b_payload = Bytes.of_string payload;
+             }
+           in
+           decode_body (encode_body body) = body));
+  ]
+
+(* ---- Chrysalis slot codec -------------------------------------------------- *)
+
+let chrysalis_layout =
+  [
+    Alcotest.test_case "slot round trip" `Quick (fun () ->
+        let open Lynx_chrysalis.Layout in
+        let b =
+          encode_slot ~corr:9 ~op:"work" ~exn_msg:None ~enclosures:[ 100; 200 ]
+            ~payload:(Bytes.of_string "xyz")
+        in
+        let d = decode_slot b in
+        checki "corr" 9 d.d_corr;
+        Alcotest.check Alcotest.string "op" "work" d.d_op;
+        Alcotest.check (Alcotest.list Alcotest.int) "encl" [ 100; 200 ]
+          d.d_enclosures;
+        Alcotest.check Alcotest.string "payload" "xyz"
+          (Bytes.to_string d.d_payload));
+    Alcotest.test_case "slot indices partition by side and kind" `Quick
+      (fun () ->
+        let open Lynx_chrysalis.Layout in
+        let all =
+          [
+            slot ~side:0 ~kind:Lynx.Backend.Request;
+            slot ~side:0 ~kind:Lynx.Backend.Reply;
+            slot ~side:1 ~kind:Lynx.Backend.Request;
+            slot ~side:1 ~kind:Lynx.Backend.Reply;
+          ]
+        in
+        checki "distinct" 4 (List.length (List.sort_uniq compare all));
+        List.iter
+          (fun s ->
+            checkb "side recovered" true
+              (side_of_slot s = s / 2);
+            checkb "kind recovered" true
+              (kind_of_slot s
+              = if s land 1 = 0 then Lynx.Backend.Request else Lynx.Backend.Reply))
+          all);
+    Alcotest.test_case "oversize message rejected" `Quick (fun () ->
+        let open Lynx_chrysalis.Layout in
+        checkb "rejected" true
+          (match
+             encode_slot ~corr:0 ~op:"x" ~exn_msg:None ~enclosures:[]
+               ~payload:(Bytes.make (slot_size + 1) 'x')
+           with
+          | _ -> false
+          | exception Invalid_argument _ -> true));
+    Alcotest.test_case "notices encode object and tag" `Quick (fun () ->
+        let open Lynx_chrysalis.Layout in
+        let n = notice_msg ~obj:12345 ~slot:3 in
+        checki "obj" 12345 (notice_obj n);
+        checki "tag" 3 (notice_tag n);
+        let d = notice_destroy ~obj:77 in
+        checki "obj" 77 (notice_obj d);
+        checki "tag" 15 (notice_tag d));
+  ]
+
+(* ---- SODA hint repair ------------------------------------------------------ *)
+
+module P = Lynx.Process
+module V = Lynx.Value
+
+(* A link end hops A -> B -> C; then the fixed end's owner (D) uses it.
+   D's hint still points at A; A redirects to B (cache), B redirects to
+   C.  The call must still succeed, purely via hint repair. *)
+let hint_chain_test =
+  Alcotest.test_case "stale hints repaired via redirect cache" `Quick
+    (fun () ->
+      let (module W : Harness.Backend_world.WORLD) =
+        Harness.Backend_world.soda
+      in
+      let e = Engine.create () in
+      let w = W.create e ~nodes:8 in
+      let sts = W.stats w in
+      let ok = ref false in
+      let l_da = Sync.Ivar.create e
+      and l_ab = Sync.Ivar.create e
+      and l_bc = Sync.Ivar.create e in
+      (* D holds the fixed end and calls late. *)
+      let d =
+        W.spawn w ~daemon:true ~node:0 ~name:"D" (fun p ->
+            let fixed = Sync.Ivar.read l_da in
+            P.sleep p (Time.ms 300);
+            match P.call p fixed ~op:"ping" [] with
+            | [ V.Str "pong from C" ] -> ok := true
+            | _ -> ())
+      in
+      let a =
+        W.spawn w ~daemon:true ~node:1 ~name:"A" (fun p ->
+            let ab = Sync.Ivar.read l_ab in
+            (* A owns the moving end (other end of D's link): pass to B. *)
+            let rec find_moving () =
+              match
+                List.filter (fun l -> l.Lynx.Link.lid <> ab.Lynx.Link.lid)
+                  (P.live_links p)
+              with
+              | m :: _ -> m
+              | [] ->
+                P.sleep p (Time.ms 1);
+                find_moving ()
+            in
+            let m = find_moving () in
+            ignore (P.call p ab ~op:"take" [ V.Link m ]);
+            P.sleep p (Time.sec 2))
+      in
+      let b =
+        W.spawn w ~daemon:true ~node:2 ~name:"B" (fun p ->
+            let bc = Sync.Ivar.read l_bc in
+            let inc = P.await_request p () in
+            (match inc.P.in_args with
+            | [ V.Link m ] ->
+              inc.P.in_reply [];
+              ignore (P.call p bc ~op:"take" [ V.Link m ])
+            | _ -> inc.P.in_reply []);
+            P.sleep p (Time.sec 2))
+      in
+      let c =
+        W.spawn w ~daemon:true ~node:3 ~name:"C" (fun p ->
+            let inc = P.await_request p () in
+            match inc.P.in_args with
+            | [ V.Link m ] ->
+              inc.P.in_reply [];
+              (* Stay uninterested for a while: posting our status
+                 signal early would refresh D's hint and bypass the
+                 redirect path this test exercises. *)
+              P.sleep p (Time.ms 450);
+              let ping = P.await_request p ~links:[ m ] () in
+              ping.P.in_reply [ V.Str "pong from C" ]
+            | _ -> inc.P.in_reply [])
+      in
+      ignore
+        (Engine.spawn e ~name:"driver" (fun () ->
+             let da, ad = W.link_between w d a in
+             let ab, _ = W.link_between w a b in
+             let bc, _ = W.link_between w b c in
+             ignore ad;
+             Sync.Ivar.fill l_da da;
+             Sync.Ivar.fill l_ab ab;
+             Sync.Ivar.fill l_bc bc));
+      Engine.run e;
+      checkb "call succeeded across stale hints" true !ok;
+      checkb "redirects actually served" true
+        (Stats.get sts "lynx_soda.redirects_served" >= 1
+        || Stats.get sts "lynx_soda.moved_redirects" >= 1))
+
+(* When the cache holder has died, the far end is found by discover (or
+   the freeze search), per §4.2. *)
+let discover_repair_test =
+  Alcotest.test_case "dead cache holder repaired via discover/freeze" `Quick
+    (fun () ->
+      let (module W : Harness.Backend_world.WORLD) =
+        Harness.Backend_world.soda
+      in
+      let e = Engine.create () in
+      let w = W.create e ~nodes:8 in
+      let sts = W.stats w in
+      let ok = ref false in
+      let l_da = Sync.Ivar.create e and l_ab = Sync.Ivar.create e in
+      let d =
+        W.spawn w ~daemon:true ~node:0 ~name:"D" (fun p ->
+            let fixed = Sync.Ivar.read l_da in
+            (* Wait until A (the cache holder) is long dead. *)
+            P.sleep p (Time.ms 500);
+            match P.call p fixed ~op:"ping" [] with
+            | [ V.Str "pong" ] -> ok := true
+            | _ -> ())
+      in
+      let a =
+        W.spawn w ~daemon:true ~node:1 ~name:"A" (fun p ->
+            let ab = Sync.Ivar.read l_ab in
+            let rec find_moving () =
+              match
+                List.filter (fun l -> l.Lynx.Link.lid <> ab.Lynx.Link.lid)
+                  (P.live_links p)
+              with
+              | m :: _ -> m
+              | [] ->
+                P.sleep p (Time.ms 1);
+                find_moving ()
+            in
+            let m = find_moving () in
+            ignore (P.call p ab ~op:"take" [ V.Link m ]);
+            (* Die soon after: the forwarding cache disappears. *)
+            P.sleep p (Time.ms 50))
+      in
+      let b =
+        W.spawn w ~daemon:true ~node:2 ~name:"B" (fun p ->
+            let inc = P.await_request p () in
+            match inc.P.in_args with
+            | [ V.Link m ] ->
+              inc.P.in_reply [];
+              (* Delay interest so D must find us by search, not via our
+                 status signal. *)
+              P.sleep p (Time.ms 650);
+              let ping = P.await_request p ~links:[ m ] () in
+              ping.P.in_reply [ V.Str "pong" ]
+            | _ -> inc.P.in_reply [])
+      in
+      ignore
+        (Engine.spawn e ~name:"driver" (fun () ->
+             let da, ad = W.link_between w d a in
+             let ab, _ = W.link_between w a b in
+             ignore ad;
+             Sync.Ivar.fill l_da da;
+             Sync.Ivar.fill l_ab ab));
+      Engine.run e;
+      checkb "call succeeded after cache death" true !ok;
+      checkb "a search ran" true
+        (Stats.get sts "lynx_soda.discover_attempts" >= 1
+        || Stats.get sts "lynx_soda.freeze_searches" >= 1))
+
+let soda_repair = [ hint_chain_test; discover_repair_test ]
+
+(* Fuzz: feeding arbitrary bytes to the wire decoders must produce a
+   value or the codec's own Malformed error — never a crash. *)
+let fuzz_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"charlotte packet decoder total on garbage"
+         ~count:500
+         QCheck.(string_of_size (QCheck.Gen.int_bound 64))
+         (fun junk ->
+           match Lynx_charlotte.Packet.decode (Bytes.of_string junk) with
+           | _ -> true
+           | exception Lynx_charlotte.Packet.Malformed -> true));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"soda body decoder total on garbage" ~count:500
+         QCheck.(string_of_size (QCheck.Gen.int_bound 64))
+         (fun junk ->
+           match Lynx_soda.Wire.decode_body (Bytes.of_string junk) with
+           | _ -> true
+           | exception Lynx_soda.Wire.Malformed -> true));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"lynx codec decoder total on garbage" ~count:500
+         QCheck.(string_of_size (QCheck.Gen.int_bound 64))
+         (fun junk ->
+           match Lynx.Codec.decode (Bytes.of_string junk) ~enclosures:[||] with
+           | _ -> true
+           | exception Lynx.Codec.Malformed _ -> true));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"soda oob decoders total on garbage" ~count:500
+         QCheck.(string_of_size (QCheck.Gen.int_bound 16))
+         (fun junk ->
+           let b = Bytes.of_string junk in
+           ignore (Lynx_soda.Wire.decode_req_oob b);
+           ignore (Lynx_soda.Wire.decode_acc_oob b);
+           true));
+  ]
+
+let () =
+  Alcotest.run "backends"
+    [
+      ("charlotte_packet", charlotte_packets);
+      ("soda_wire", soda_wire);
+      ("chrysalis_layout", chrysalis_layout);
+      ("soda_repair", soda_repair);
+      ("fuzz", fuzz_tests);
+    ]

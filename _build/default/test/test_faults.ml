@@ -1,0 +1,201 @@
+(* Fault injection: processes die at awkward moments and the survivors
+   must carry on — LYNX's whole reason for reflecting failures as
+   exceptions (§2.2). *)
+
+open Sim
+module P = Lynx.Process
+module V = Lynx.Value
+module L = Lynx.Lang
+module NS = Lynx.Nameserver
+
+let checkb = Alcotest.check Alcotest.bool
+
+let on_all name speed f =
+  List.map
+    (fun (module W : Harness.Backend_world.WORLD) ->
+      Alcotest.test_case (Printf.sprintf "%s [%s]" name W.name) speed (fun () ->
+          f (module W : Harness.Backend_world.WORLD)))
+    Harness.Backend_world.all
+
+let wait_first_link p =
+  let rec go () =
+    match P.live_links p with
+    | l :: _ -> l
+    | [] ->
+      P.sleep p (Time.ms 1);
+      go ()
+  in
+  go ()
+
+(* Clients with random lifetimes die mid-conversation; the server and
+   the long-lived client must be unaffected. *)
+let random_kill ~seed (module W : Harness.Backend_world.WORLD) =
+  let e = Engine.create ~seed () in
+  let w = W.create e ~nodes:8 in
+  let survivor_ok = ref false in
+  let served = ref 0 in
+  let server =
+    W.spawn w ~daemon:true ~node:0 ~name:"server" (fun p ->
+        P.on_new_link p (fun l ->
+            P.serve p l ~op:"ping" (fun _ ->
+                incr served;
+                [ V.Int !served ]));
+        List.iter
+          (fun l ->
+            P.serve p l ~op:"ping" (fun _ ->
+                incr served;
+                [ V.Int !served ]))
+          (P.live_links p);
+        P.park p)
+  in
+  let rng = Rng.create seed in
+  (* Three mortal clients with random lifetimes mid-burst. *)
+  let mortals =
+    List.init 3 (fun i ->
+        let lifetime = Time.ms (20 + Rng.int rng 150) in
+        W.spawn w ~daemon:true ~node:(1 + i) ~name:(Printf.sprintf "mortal%d" i)
+          (fun p ->
+            let lnk = wait_first_link p in
+            P.spawn_thread p (fun () ->
+                for _ = 1 to 50 do
+                  ignore (P.call p lnk ~op:"ping" [])
+                done);
+            (* Death interrupts the burst. *)
+            P.sleep p lifetime))
+  in
+  let survivor =
+    W.spawn w ~daemon:true ~node:5 ~name:"survivor" (fun p ->
+        let lnk = wait_first_link p in
+        P.sleep p (Time.ms 400) (* after every mortal is gone *);
+        match P.call p lnk ~op:"ping" [] with
+        | [ V.Int _ ] -> survivor_ok := true
+        | _ -> ())
+  in
+  ignore
+    (Engine.spawn e ~name:"driver" (fun () ->
+         List.iter (fun m -> ignore (W.link_between w m server)) mortals;
+         ignore (W.link_between w survivor server)));
+  Engine.run e;
+  (!survivor_ok, !served)
+
+let kill_tests =
+  on_all "server survives clients dying mid-burst" `Quick (fun (module W) ->
+      let ok, served = random_kill ~seed:42 (module W) in
+      checkb "survivor served" true ok;
+      checkb "some mortal calls served before death" true (served > 1))
+  @ List.map
+      (fun (module W : Harness.Backend_world.WORLD) ->
+        QCheck_alcotest.to_alcotest
+          (QCheck.Test.make
+             ~name:
+               (Printf.sprintf "survivor served for any kill timing [%s]"
+                  W.name)
+             ~count:6
+             QCheck.(int_bound 10_000)
+             (fun seed -> fst (random_kill ~seed (module W)))))
+      Harness.Backend_world.all
+
+(* The name server forgets providers that die: lookups turn to None
+   instead of hanging or crashing. *)
+let ns_fault_tests =
+  on_all "nameserver survives provider death" `Quick (fun (module W) ->
+      let e = Engine.create () in
+      let w = W.create e ~nodes:6 in
+      let before = ref None and after = ref (Some ()) in
+      let ns_member =
+        W.spawn w ~daemon:true ~node:0 ~name:"nameserver" NS.body
+      in
+      let provider =
+        W.spawn w ~daemon:true ~node:1 ~name:"provider" (fun p ->
+            let ns = wait_first_link p in
+            NS.serve_clones p ~ns ~on_client:(fun mine ->
+                L.serve p mine (L.defop ~name:"id" ~req:L.int ~resp:L.int)
+                  (fun x -> x));
+            NS.register p ~ns ~name:"flaky";
+            (* Die shortly after registering. *)
+            P.sleep p (Time.ms 300))
+      in
+      let client =
+        W.spawn w ~daemon:true ~node:2 ~name:"client" (fun p ->
+            let ns = wait_first_link p in
+            P.sleep p (Time.ms 150);
+            (* While alive: the service resolves and works. *)
+            (match NS.lookup p ~ns ~name:"flaky" with
+            | Some svc ->
+              before :=
+                Some (L.call p svc (L.defop ~name:"id" ~req:L.int ~resp:L.int) 5)
+            | None -> ());
+            P.sleep p (Time.ms 600);
+            (* After the provider's death: cleanly unresolvable. *)
+            match NS.lookup p ~ns ~name:"flaky" with
+            | None -> after := None
+            | Some _ -> ())
+      in
+      ignore
+        (Engine.spawn e ~name:"driver" (fun () ->
+             ignore (W.link_between w provider ns_member);
+             ignore (W.link_between w client ns_member)));
+      Engine.run e;
+      checkb "worked while alive" true (!before = Some 5);
+      checkb "cleanly gone after death" true (!after = None))
+
+(* A call racing with the peer's destroy either completes or raises
+   Link_destroyed — never hangs, never returns garbage. *)
+let race_outcome ~delay_ms (module W : Harness.Backend_world.WORLD) =
+  let e = Engine.create () in
+  let w = W.create e ~nodes:4 in
+  let outcome = ref `Hung in
+  let server =
+    W.spawn w ~daemon:true ~node:0 ~name:"server" (fun p ->
+        P.on_new_link p (fun l ->
+            P.serve p l ~op:"ping" (fun _ -> [ V.Int 1 ]));
+        List.iter
+          (fun l -> P.serve p l ~op:"ping" (fun _ -> [ V.Int 1 ]))
+          (P.live_links p);
+        (* Destroy our end at a varying instant. *)
+        P.sleep p (Time.ms delay_ms);
+        List.iter
+          (fun l -> try P.destroy_link p l with _ -> ())
+          (P.live_links p);
+        P.park p)
+  in
+  let client =
+    W.spawn w ~daemon:true ~node:1 ~name:"client" (fun p ->
+        let lnk = wait_first_link p in
+        P.sleep p (Time.ms 10);
+        match P.call p lnk ~op:"ping" [] with
+        | [ V.Int 1 ] -> outcome := `Completed
+        | _ -> outcome := `Garbage
+        | exception
+            ( Lynx.Excn.Link_destroyed | Lynx.Excn.Process_terminated
+            | Lynx.Excn.Remote_error _ ) ->
+          outcome := `Raised)
+  in
+  ignore
+    (Engine.spawn e ~name:"driver" (fun () ->
+         ignore (W.link_between w client server)));
+  Engine.run e;
+  !outcome
+
+let race_tests =
+  on_all "call racing a destroy completes or raises cleanly" `Quick
+    (fun (module W) ->
+      let outcomes =
+        List.map
+          (fun d -> race_outcome ~delay_ms:d (module W))
+          [ 5; 11; 25; 40; 70; 120 ]
+      in
+      checkb "no hangs or garbage" true
+        (List.for_all (function `Completed | `Raised -> true | _ -> false)
+           outcomes);
+      (* The sweep must actually cover both fates. *)
+      checkb "some raise" true (List.mem `Raised outcomes);
+      checkb "some complete" true (List.mem `Completed outcomes))
+
+let () =
+  Alcotest.run "faults"
+    [
+      ("kills", kill_tests);
+      ("nameserver", ns_fault_tests);
+      ("races", race_tests);
+    ]

@@ -1,0 +1,375 @@
+(* The paper's qualitative scenarios (figures 1 and 2, §3.2.1, §3.2.2)
+   with per-backend assertions about the protocol traffic each kernel
+   needs — the quantified form of the paper's §6 discussion. *)
+
+module S = Harness.Scenarios
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let on_all name speed f =
+  List.map
+    (fun (module W : Harness.Backend_world.WORLD) ->
+      Alcotest.test_case (Printf.sprintf "%s [%s]" name W.name) speed (fun () ->
+          f (module W : Harness.Backend_world.WORLD)))
+    Harness.Backend_world.all
+
+let fig1_tests =
+  on_all "figure 1: simultaneous move succeeds" `Quick (fun (module W) ->
+      let o = S.simultaneous_move (module W) in
+      checkb o.S.o_detail true o.S.o_ok)
+  @ [
+      Alcotest.test_case "figure 1: charlotte pays the kernel move protocol"
+        `Quick (fun () ->
+          let o = S.simultaneous_move Harness.Backend_world.charlotte in
+          checkb "ok" true o.S.o_ok;
+          (* Two ends moved: the kernel's three-party agreement runs twice. *)
+          checki "move protocol messages" 6
+            (S.counter o "charlotte.move_protocol_msgs"));
+      Alcotest.test_case "figure 1: soda moves by hint updates" `Quick
+        (fun () ->
+          let o = S.simultaneous_move Harness.Backend_world.soda in
+          checkb "ok" true o.S.o_ok;
+          checki "ends adopted" 2 (S.counter o "lynx_soda.ends_adopted"));
+      Alcotest.test_case "figure 1: chrysalis moves by remapping" `Quick
+        (fun () ->
+          let o = S.simultaneous_move Harness.Backend_world.chrysalis in
+          checkb "ok" true o.S.o_ok;
+          checki "ends adopted" 2 (S.counter o "lynx_chrysalis.ends_adopted"));
+    ]
+
+(* Figure 2: Charlotte needs 2 kernel messages for k <= 1 enclosures and
+   k + 2 for k >= 2 (request, goahead, k-1 enc packets, reply); SODA and
+   Chrysalis costs do not grow with k at all. *)
+let fig2_tests =
+  List.map
+    (fun k ->
+      Alcotest.test_case
+        (Printf.sprintf "figure 2: charlotte message count, k=%d" k)
+        `Quick
+        (fun () ->
+          let o =
+            S.enclosure_protocol ~n_encl:k Harness.Backend_world.charlotte
+          in
+          checkb "ok" true o.S.o_ok;
+          let expected = if k <= 1 then 2 else k + 2 in
+          checki "kernel msgs" expected (S.counter o "charlotte.kernel_msgs")))
+    [ 0; 1; 2; 3; 5 ]
+  @ List.concat_map
+      (fun k ->
+        [
+          Alcotest.test_case
+            (Printf.sprintf "figure 2: soda cost independent of k=%d" k)
+            `Quick
+            (fun () ->
+              let base =
+                S.enclosure_protocol ~n_encl:0 Harness.Backend_world.soda
+              in
+              let o = S.enclosure_protocol ~n_encl:k Harness.Backend_world.soda in
+              checkb "ok" true o.S.o_ok;
+              checki "same data puts as k=0"
+                (S.counter base "lynx_soda.data_puts")
+                (S.counter o "lynx_soda.data_puts"));
+          Alcotest.test_case
+            (Printf.sprintf "figure 2: chrysalis constant cost, k=%d" k)
+            `Quick
+            (fun () ->
+              let o =
+                S.enclosure_protocol ~n_encl:k Harness.Backend_world.chrysalis
+              in
+              checkb "ok" true o.S.o_ok;
+              checki "slot writes" 2 (S.counter o "lynx_chrysalis.msgs_written"));
+        ])
+      [ 3; 5 ]
+
+let unwanted_tests =
+  [
+    Alcotest.test_case "§3.2.1 cross request: charlotte forbids and allows"
+      `Quick (fun () ->
+        let o = S.cross_request Harness.Backend_world.charlotte in
+        checkb o.S.o_detail true o.S.o_ok;
+        checkb "unwanted received" true
+          (S.counter o "lynx_charlotte.unwanted_received" >= 1);
+        checkb "forbid sent" true
+          (S.counter o "lynx_charlotte.pkt_sent.forbid" >= 1);
+        checkb "allow sent" true
+          (S.counter o "lynx_charlotte.pkt_sent.allow" >= 1));
+    Alcotest.test_case "§3.2.1 open/close race: charlotte retries" `Quick
+      (fun () ->
+        let o = S.open_close_race Harness.Backend_world.charlotte in
+        checkb o.S.o_detail true o.S.o_ok;
+        checkb "retry sent" true
+          (S.counter o "lynx_charlotte.pkt_sent.retry" >= 1);
+        checkb "failed cancel observed" true
+          (S.counter o "lynx_charlotte.cancel_failed" >= 1));
+  ]
+  @ on_all "§3.2.1 cross request completes everywhere" `Quick
+      (fun (module W) ->
+        let o = S.cross_request (module W) in
+        checkb o.S.o_detail true o.S.o_ok;
+        if W.name <> "charlotte" then
+          checki "no bounces (lesson two)" 0
+            (S.counter o "lynx_charlotte.unwanted_received"))
+  @ on_all "§3.2.1 open/close race completes everywhere" `Quick
+      (fun (module W) ->
+        let o = S.open_close_race (module W) in
+        checkb o.S.o_detail true o.S.o_ok)
+
+let lost_enclosure_tests =
+  [
+    Alcotest.test_case "§3.2.2 charlotte loses the enclosure" `Quick (fun () ->
+        let o = S.lost_enclosure Harness.Backend_world.charlotte in
+        checkb o.S.o_detail true o.S.o_ok;
+        (* The documented deviation: the end is gone for good. *)
+        checkb "far end died" true (contains o.S.o_detail "far_end_died=true");
+        checkb "not recovered" true (contains o.S.o_detail "recovered=false"));
+    Alcotest.test_case "§3.2.2 soda recovers the enclosure" `Quick (fun () ->
+        let o = S.lost_enclosure Harness.Backend_world.soda in
+        checkb o.S.o_detail true o.S.o_ok;
+        checkb "recovered" true (contains o.S.o_detail "recovered=true"));
+    Alcotest.test_case "§3.2.2 chrysalis recovers the enclosure" `Quick
+      (fun () ->
+        let o = S.lost_enclosure Harness.Backend_world.chrysalis in
+        checkb o.S.o_detail true o.S.o_ok;
+        checkb "recovered" true (contains o.S.o_detail "recovered=true"));
+  ]
+
+let bounced_tests =
+  on_all "unwanted enclosure survives the bounce" `Quick (fun (module W) ->
+      let o = S.bounced_enclosure (module W) in
+      checkb o.S.o_detail true o.S.o_ok)
+  @ [
+      Alcotest.test_case "charlotte actually bounced it" `Quick (fun () ->
+          let o = S.bounced_enclosure Harness.Backend_world.charlotte in
+          checkb "ok" true o.S.o_ok;
+          checkb "unwanted received" true
+            (S.counter o "lynx_charlotte.unwanted_received" >= 1);
+          checkb "a bounce carried the enclosure back" true
+            (S.counter o "lynx_charlotte.pkt_sent.forbid"
+             + S.counter o "lynx_charlotte.pkt_sent.retry"
+            >= 1));
+    ]
+
+let ablation_tests =
+  [
+    Alcotest.test_case "reply acks cost +50% messages (§3.2.2)" `Quick
+      (fun () ->
+        let msgs b =
+          let r = Harness.Rpc_bench.run b ~payload:0 () in
+          try List.assoc "charlotte.kernel_msgs" r.Harness.Rpc_bench.r_counters
+          with Not_found -> 0
+        in
+        let plain = msgs Harness.Backend_world.charlotte in
+        let acks = msgs Harness.Backend_world.charlotte_acks in
+        checki "+50%" (plain * 3 / 2) acks);
+    Alcotest.test_case "reply acks slow every RPC down" `Quick (fun () ->
+        let mean b =
+          Harness.Rpc_bench.mean_ms (Harness.Rpc_bench.run b ~payload:0 ())
+        in
+        checkb "slower" true
+          (mean Harness.Backend_world.charlotte_acks
+          > mean Harness.Backend_world.charlotte));
+    Alcotest.test_case "reply-ack variant still passes figure 1" `Quick
+      (fun () ->
+        let o = S.simultaneous_move Harness.Backend_world.charlotte_acks in
+        checkb o.S.o_detail true o.S.o_ok);
+    Alcotest.test_case "hint-based kernel passes figure 1 without move msgs"
+      `Quick (fun () ->
+        let o = S.simultaneous_move Harness.Backend_world.charlotte_hints in
+        checkb o.S.o_detail true o.S.o_ok;
+        checki "no move protocol" 0 (S.counter o "charlotte.move_protocol_msgs"));
+    Alcotest.test_case "hint repair works with a reliable broadcast" `Quick
+      (fun () ->
+        let o = S.soda_hint_repair ~broadcast_loss:0.0 () in
+        checkb o.S.o_detail true o.S.o_ok;
+        checki "no freeze needed" 0 (S.counter o "lynx_soda.freeze_searches"));
+    Alcotest.test_case
+      "hint repair falls back to the freeze search under total loss" `Quick
+      (fun () ->
+        let o = S.soda_hint_repair ~broadcast_loss:1.0 () in
+        checkb o.S.o_detail true o.S.o_ok;
+        checkb "freeze search ran" true
+          (S.counter o "lynx_soda.freeze_searches" >= 1));
+  ]
+
+let pair_pressure_tests =
+  [
+    Alcotest.test_case "§4.2.1: signal budget avoids the pair-limit deadlock"
+      `Quick (fun () ->
+        let o = S.soda_pair_pressure ~budget:true () in
+        checkb o.S.o_detail true o.S.o_ok);
+    Alcotest.test_case "§4.2.1: without the budget, data puts starve" `Quick
+      (fun () ->
+        let o = S.soda_pair_pressure ~budget:false () in
+        checkb "deadlocked as the paper warns" true (not o.S.o_ok);
+        checkb "pair limit was the cause" true
+          (S.counter o "soda.pair_limit_hits" > 0));
+  ]
+
+(* Direct protocol-coverage checks that the named scenarios do not
+   reach. *)
+let protocol_coverage_tests =
+  [
+    Alcotest.test_case
+      "charlotte: multi-enclosure replies skip the goahead (figure 2)" `Quick
+      (fun () ->
+        (* A reply carrying 3 ends: rep_first + 2 enc packets and no
+           goahead, since "a reply is always wanted". *)
+        let (module W : Harness.Backend_world.WORLD) =
+          Harness.Backend_world.charlotte
+        in
+        let open Sim in
+        let module P = Lynx.Process in
+        let e = Engine.create () in
+        let w = W.create e ~nodes:4 in
+        let sts = W.stats w in
+        let got = ref 0 in
+        let lc = Sync.Ivar.create e in
+        let server =
+          W.spawn w ~daemon:true ~node:0 ~name:"server" (fun p ->
+              let inc = P.await_request p () in
+              let ends =
+                List.init 3 (fun _ ->
+                    let near, _far = P.new_link p in
+                    Lynx.Value.Link near)
+              in
+              inc.P.in_reply ends;
+              P.sleep p (Time.ms 300))
+        in
+        let client =
+          W.spawn w ~daemon:true ~node:1 ~name:"client" (fun p ->
+              let lnk = Sync.Ivar.read lc in
+              match P.call p lnk ~op:"gimme" [] with
+              | vs -> got := List.length (Lynx.Value.links_of_list vs)
+              | exception _ -> ())
+        in
+        ignore
+          (Engine.spawn e ~name:"driver" (fun () ->
+               let c, _ = W.link_between w client server in
+               Sync.Ivar.fill lc c));
+        Engine.run e;
+        checki "three ends arrived" 3 !got;
+        checki "no goahead for replies" 0
+          (Sim.Stats.get sts "lynx_charlotte.pkt_sent.goahead");
+        checki "two enc packets" 2
+          (Sim.Stats.get sts "lynx_charlotte.pkt_sent.enc"));
+  ]
+  @ on_all "destroying a moved end notifies its new peer" `Quick
+      (fun (module W) ->
+        (* A gives its end of link L to B; later A's original peer C
+           destroys its fixed end; B (the new owner) must hear. *)
+        let open Sim in
+        let module P = Lynx.Process in
+        let e = Engine.create () in
+        let w = W.create e ~nodes:6 in
+        let notified = ref false in
+        let l_ab = Sync.Ivar.create e and l_ac = Sync.Ivar.create e in
+        let a =
+          W.spawn w ~daemon:true ~node:0 ~name:"A" (fun p ->
+              let ab = Sync.Ivar.read l_ab and ac = Sync.Ivar.read l_ac in
+              ignore (P.call p ab ~op:"take" [ Lynx.Value.Link ac ]);
+              P.sleep p (Time.ms 500))
+        in
+        let b =
+          W.spawn w ~daemon:true ~node:1 ~name:"B" (fun p ->
+              let inc = P.await_request p () in
+              match inc.P.in_args with
+              | [ Lynx.Value.Link moved ] -> (
+                inc.P.in_reply [];
+                (* Wait for traffic on the moved end; C will destroy. *)
+                match P.await_request p ~links:[ moved ] () with
+                | _ -> ()
+                | exception Lynx.Excn.Link_destroyed -> notified := true)
+              | _ -> inc.P.in_reply [])
+        in
+        let c =
+          W.spawn w ~daemon:true ~node:2 ~name:"C" (fun p ->
+              let rec wait () =
+                match P.live_links p with
+                | l :: _ -> l
+                | [] ->
+                  P.sleep p (Time.ms 1);
+                  wait ()
+              in
+              let fixed = wait () in
+              P.sleep p (Time.ms 250);
+              P.destroy_link p fixed;
+              P.sleep p (Time.ms 700))
+        in
+        ignore
+          (Engine.spawn e ~name:"driver" (fun () ->
+               let ab, _ = W.link_between w a b in
+               let ac, _ = W.link_between w a c in
+               Sync.Ivar.fill l_ab ab;
+               Sync.Ivar.fill l_ac ac));
+        Engine.run e;
+        checkb "new owner notified of destruction" true !notified)
+  @ on_all "peer death during a multi-enclosure transfer fails the send"
+      `Quick (fun (module W) ->
+        (* The receiver dies mid-protocol (between goahead and the enc
+           packets under Charlotte); the sender's call must fail, not
+           hang. *)
+        let open Sim in
+        let module P = Lynx.Process in
+        let e = Engine.create () in
+        let w = W.create e ~nodes:4 in
+        let failed = ref false and completed = ref false in
+        let lc = Sync.Ivar.create e in
+        let victim =
+          W.spawn w ~daemon:true ~node:0 ~name:"victim" (fun p ->
+              (* Open the queue so the transfer begins, then die before
+                 it can complete. *)
+              List.iter (P.open_queue p) (P.live_links p);
+              P.on_new_link p (fun l -> P.open_queue p l);
+              P.sleep p (Time.ms 45))
+        in
+        let sender =
+          W.spawn w ~daemon:true ~node:1 ~name:"sender" (fun p ->
+              let lnk = Sync.Ivar.read lc in
+              let ends =
+                List.init 4 (fun _ ->
+                    let near, _ = P.new_link p in
+                    Lynx.Value.Link near)
+              in
+              P.sleep p (Time.ms 10);
+              match P.call p lnk ~op:"take" ends with
+              | _ -> completed := true
+              | exception
+                  ( Lynx.Excn.Link_destroyed | Lynx.Excn.Process_terminated
+                  | Lynx.Excn.Remote_error _ ) ->
+                failed := true)
+        in
+        ignore
+          (Engine.spawn e ~name:"driver" (fun () ->
+               let c, _ = W.link_between w sender victim in
+               Sync.Ivar.fill lc c));
+        Engine.run e;
+        checkb "failed or completed, never hung" true (!failed || !completed))
+
+let determinism_tests =
+  on_all "scenarios are deterministic per seed" `Quick (fun (module W) ->
+      let a = S.simultaneous_move ~seed:7 (module W) in
+      let b = S.simultaneous_move ~seed:7 (module W) in
+      checkb "same outcome" true (a.S.o_ok = b.S.o_ok);
+      checki "same duration" (Sim.Time.to_ns a.S.o_duration)
+        (Sim.Time.to_ns b.S.o_duration);
+      checkb "same counters" true (a.S.o_counters = b.S.o_counters))
+
+let () =
+  Alcotest.run "scenarios"
+    [
+      ("figure1", fig1_tests);
+      ("figure2", fig2_tests);
+      ("unwanted", unwanted_tests);
+      ("lost_enclosure", lost_enclosure_tests);
+      ("bounced_enclosure", bounced_tests);
+      ("pair_pressure", pair_pressure_tests);
+      ("protocol_coverage", protocol_coverage_tests);
+      ("ablations", ablation_tests);
+      ("determinism", determinism_tests);
+    ]

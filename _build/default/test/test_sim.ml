@@ -1,0 +1,654 @@
+(* Tests for the discrete-event simulation engine and its primitives. *)
+
+open Sim
+
+let check = Alcotest.check
+let checki = check Alcotest.int
+let checkb = check Alcotest.bool
+
+(* ---- Time ---------------------------------------------------------------- *)
+
+let time_tests =
+  [
+    Alcotest.test_case "units compose" `Quick (fun () ->
+        checki "us" 1_000 (Time.to_ns (Time.us 1));
+        checki "ms" 1_000_000 (Time.to_ns (Time.ms 1));
+        checki "sec" 1_000_000_000 (Time.to_ns (Time.sec 1)));
+    Alcotest.test_case "of_ms_float rounds" `Quick (fun () ->
+        checki "1.5ms" 1_500_000 (Time.to_ns (Time.of_ms_float 1.5));
+        checki "rounds" 1_000 (Time.to_ns (Time.of_us_float 1.0000001)));
+    Alcotest.test_case "sub saturates at zero" `Quick (fun () ->
+        checki "saturate" 0 (Time.to_ns (Time.sub (Time.ms 1) (Time.ms 2))));
+    Alcotest.test_case "diff is absolute" `Quick (fun () ->
+        checki "diff" 1_000_000
+          (Time.to_ns (Time.diff (Time.ms 1) (Time.ms 2))));
+    Alcotest.test_case "comparisons" `Quick (fun () ->
+        checkb "lt" true Time.(Time.ms 1 < Time.ms 2);
+        checkb "ge" true Time.(Time.ms 2 >= Time.ms 2);
+        checki "max" (Time.to_ns (Time.ms 2))
+          (Time.to_ns (Time.max (Time.ms 1) (Time.ms 2))));
+    Alcotest.test_case "pp formats ms" `Quick (fun () ->
+        check Alcotest.string "pp" "57.000ms" (Time.to_string (Time.ms 57)));
+    Alcotest.test_case "scale and mul_float" `Quick (fun () ->
+        checki "scale" 5_000 (Time.to_ns (Time.scale (Time.us 1) 5));
+        checki "mul" 1_500 (Time.to_ns (Time.mul_float (Time.us 1) 1.5)));
+  ]
+
+(* ---- Heap ---------------------------------------------------------------- *)
+
+let heap_tests =
+  [
+    Alcotest.test_case "orders by time" `Quick (fun () ->
+        let h = Heap.create () in
+        Heap.add h ~time:30 ~seq:0 "c";
+        Heap.add h ~time:10 ~seq:1 "a";
+        Heap.add h ~time:20 ~seq:2 "b";
+        let pop () =
+          match Heap.pop h with Some (_, _, v) -> v | None -> "?"
+        in
+        let first = pop () in
+        let second = pop () in
+        let third = pop () in
+        check Alcotest.(list string) "order" [ "a"; "b"; "c" ]
+          [ first; second; third ]);
+    Alcotest.test_case "seq breaks ties FIFO" `Quick (fun () ->
+        let h = Heap.create () in
+        for i = 0 to 9 do
+          Heap.add h ~time:5 ~seq:i i
+        done;
+        let order = ref [] in
+        let rec drain () =
+          match Heap.pop h with
+          | Some (_, _, v) ->
+            order := v :: !order;
+            drain ()
+          | None -> ()
+        in
+        drain ();
+        check Alcotest.(list int) "fifo" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+          (List.rev !order));
+    Alcotest.test_case "empty pop" `Quick (fun () ->
+        let h : unit Heap.t = Heap.create () in
+        checkb "none" true (Heap.pop h = None);
+        checkb "empty" true (Heap.is_empty h));
+    Alcotest.test_case "peek_time" `Quick (fun () ->
+        let h = Heap.create () in
+        Heap.add h ~time:42 ~seq:0 ();
+        checkb "peek" true (Heap.peek_time h = Some 42);
+        ignore (Heap.pop h);
+        checkb "peek empty" true (Heap.peek_time h = None));
+    Alcotest.test_case "grows past initial capacity" `Quick (fun () ->
+        let h = Heap.create () in
+        for i = 0 to 999 do
+          Heap.add h ~time:(1000 - i) ~seq:i i
+        done;
+        checki "len" 1000 (Heap.length h);
+        match Heap.pop h with
+        | Some (t, _, _) -> checki "min" 1 t
+        | None -> Alcotest.fail "empty");
+  ]
+
+let heap_property =
+  QCheck.Test.make ~name:"heap pops sorted" ~count:200
+    QCheck.(list (pair small_nat small_nat))
+    (fun entries ->
+      let h = Heap.create () in
+      List.iteri (fun i (t, _) -> Heap.add h ~time:t ~seq:i i) entries;
+      let rec drain acc =
+        match Heap.pop h with
+        | Some (t, s, _) -> drain ((t, s) :: acc)
+        | None -> List.rev acc
+      in
+      let popped = drain [] in
+      let sorted = List.sort compare popped in
+      popped = sorted)
+
+(* ---- Rng ------------------------------------------------------------------ *)
+
+let rng_tests =
+  [
+    Alcotest.test_case "deterministic from seed" `Quick (fun () ->
+        let a = Rng.create 7 and b = Rng.create 7 in
+        for _ = 1 to 100 do
+          checkb "same" true (Rng.next_int64 a = Rng.next_int64 b)
+        done);
+    Alcotest.test_case "different seeds differ" `Quick (fun () ->
+        let a = Rng.create 1 and b = Rng.create 2 in
+        checkb "differ" false (Rng.next_int64 a = Rng.next_int64 b));
+    Alcotest.test_case "int respects bound" `Quick (fun () ->
+        let r = Rng.create 3 in
+        for _ = 1 to 1000 do
+          let v = Rng.int r 17 in
+          checkb "in range" true (v >= 0 && v < 17)
+        done);
+    Alcotest.test_case "float in [0,1)" `Quick (fun () ->
+        let r = Rng.create 4 in
+        for _ = 1 to 1000 do
+          let f = Rng.float r in
+          checkb "in range" true (f >= 0. && f < 1.)
+        done);
+    Alcotest.test_case "split is independent" `Quick (fun () ->
+        let a = Rng.create 5 in
+        let child = Rng.split a in
+        checkb "differ" false (Rng.next_int64 a = Rng.next_int64 child));
+    Alcotest.test_case "bool probability roughly respected" `Quick (fun () ->
+        let r = Rng.create 6 in
+        let hits = ref 0 in
+        for _ = 1 to 10_000 do
+          if Rng.bool r 0.25 then incr hits
+        done;
+        checkb "rough" true (!hits > 2_000 && !hits < 3_000));
+    Alcotest.test_case "shuffle permutes" `Quick (fun () ->
+        let r = Rng.create 8 in
+        let arr = Array.init 20 Fun.id in
+        Rng.shuffle r arr;
+        let sorted = Array.copy arr in
+        Array.sort compare sorted;
+        check Alcotest.(array int) "same elements" (Array.init 20 Fun.id) sorted);
+  ]
+
+(* ---- Trace ----------------------------------------------------------------- *)
+
+let trace_tests =
+  [
+    Alcotest.test_case "hash is order sensitive" `Quick (fun () ->
+        let a = Trace.create () and b = Trace.create () in
+        Trace.record a Time.zero "x";
+        Trace.record a Time.zero "y";
+        Trace.record b Time.zero "y";
+        Trace.record b Time.zero "x";
+        checkb "differ" false (Trace.hash a = Trace.hash b));
+    Alcotest.test_case "hash covers evicted events" `Quick (fun () ->
+        let a = Trace.create ~capacity:4 () and b = Trace.create ~capacity:4 () in
+        for i = 1 to 20 do
+          Trace.record a Time.zero (string_of_int i)
+        done;
+        for i = 1 to 20 do
+          Trace.record b Time.zero (string_of_int (if i = 1 then 99 else i))
+        done;
+        checkb "differ" false (Trace.hash a = Trace.hash b));
+    Alcotest.test_case "recent returns newest window" `Quick (fun () ->
+        let t = Trace.create ~capacity:3 () in
+        List.iter (fun s -> Trace.record t Time.zero s) [ "a"; "b"; "c"; "d" ];
+        check
+          Alcotest.(list string)
+          "window" [ "c"; "d" ]
+          (List.map snd (Trace.recent t 2));
+        checki "count" 4 (Trace.count t));
+    Alcotest.test_case "clear resets" `Quick (fun () ->
+        let t = Trace.create () in
+        let h0 = Trace.hash t in
+        Trace.record t Time.zero "x";
+        Trace.clear t;
+        checki "count" 0 (Trace.count t);
+        checkb "hash reset" true (Trace.hash t = h0));
+  ]
+
+(* ---- Engine ----------------------------------------------------------------- *)
+
+let engine_tests =
+  [
+    Alcotest.test_case "sleep advances virtual time" `Quick (fun () ->
+        let e = Engine.create () in
+        let final = ref Time.zero in
+        ignore
+          (Engine.spawn e (fun () ->
+               Engine.sleep e (Time.ms 5);
+               Engine.sleep e (Time.ms 7);
+               final := Engine.now e));
+        Engine.run e ~expect_quiescent:true;
+        checki "12ms" (Time.to_ns (Time.ms 12)) (Time.to_ns !final));
+    Alcotest.test_case "same-time tasks run in schedule order" `Quick (fun () ->
+        let e = Engine.create () in
+        let order = ref [] in
+        for i = 1 to 5 do
+          Engine.schedule_at e Time.zero (fun () -> order := i :: !order)
+        done;
+        Engine.run e;
+        check Alcotest.(list int) "fifo" [ 1; 2; 3; 4; 5 ] (List.rev !order));
+    Alcotest.test_case "schedule in the past rejected" `Quick (fun () ->
+        let e = Engine.create () in
+        ignore
+          (Engine.spawn e (fun () ->
+               Engine.sleep e (Time.ms 1);
+               Alcotest.check_raises "past" (Invalid_argument
+                 "Engine.schedule_at: time is in the past") (fun () ->
+                   Engine.schedule_at e Time.zero ignore)));
+        Engine.run e);
+    Alcotest.test_case "spawned fibers interleave deterministically" `Quick
+      (fun () ->
+        let e = Engine.create () in
+        let log = ref [] in
+        let worker name d =
+          ignore
+            (Engine.spawn e ~name (fun () ->
+                 for i = 1 to 3 do
+                   Engine.sleep e d;
+                   log := (name, i) :: !log
+                 done))
+        in
+        worker "a" (Time.ms 2);
+        worker "b" (Time.ms 3);
+        Engine.run e;
+        check
+          Alcotest.(list (pair string int))
+          "interleave"
+          [ ("a", 1); ("b", 1); ("a", 2); ("b", 2); ("a", 3); ("b", 3) ]
+          (List.rev !log));
+    Alcotest.test_case "run_until stops at limit" `Quick (fun () ->
+        let e = Engine.create () in
+        let count = ref 0 in
+        ignore
+          (Engine.spawn e (fun () ->
+               for _ = 1 to 10 do
+                 Engine.sleep e (Time.ms 10);
+                 incr count
+               done));
+        Engine.run_until e (Time.ms 35);
+        checki "3 iterations" 3 !count;
+        checki "clock at limit" (Time.to_ns (Time.ms 35))
+          (Time.to_ns (Engine.now e)));
+    Alcotest.test_case "deadlock detected when quiescence expected" `Quick
+      (fun () ->
+        let e = Engine.create () in
+        ignore
+          (Engine.spawn e ~name:"stuck" (fun () ->
+               ignore (Engine.suspend e (fun _waker -> ()))));
+        checkb "raises" true
+          (match Engine.run e ~expect_quiescent:true with
+          | () -> false
+          | exception Engine.Deadlock _ -> true));
+    Alcotest.test_case "daemon fibers excluded from quiescence" `Quick (fun () ->
+        let e = Engine.create () in
+        ignore
+          (Engine.spawn e ~daemon:true (fun () ->
+               ignore (Engine.suspend e (fun _ -> ()))));
+        Engine.run e ~expect_quiescent:true);
+    Alcotest.test_case "fiber crash raises by default" `Quick (fun () ->
+        let e = Engine.create () in
+        ignore (Engine.spawn e ~name:"boom" (fun () -> failwith "bang"));
+        checkb "raises" true
+          (match Engine.run e with
+          | () -> false
+          | exception Engine.Fiber_crash ("boom", Failure _) -> true
+          | exception _ -> false));
+    Alcotest.test_case "fiber crash recorded when requested" `Quick (fun () ->
+        let e = Engine.create ~on_crash:`Record () in
+        ignore (Engine.spawn e ~name:"boom" (fun () -> failwith "bang"));
+        Engine.run e;
+        match Engine.crashed e with
+        | [ ("boom", Failure _) ] -> ()
+        | _ -> Alcotest.fail "crash not recorded");
+    Alcotest.test_case "waker is idempotent" `Quick (fun () ->
+        let e = Engine.create () in
+        let resumed = ref 0 in
+        ignore
+          (Engine.spawn e (fun () ->
+               Engine.suspend e (fun waker ->
+                   Engine.schedule_after e (Time.ms 1) (fun () ->
+                       waker (Ok ());
+                       waker (Ok ());
+                       waker (Error Exit)));
+               incr resumed));
+        Engine.run e;
+        checki "once" 1 !resumed);
+    Alcotest.test_case "waker can deliver exception" `Quick (fun () ->
+        let e = Engine.create () in
+        let caught = ref false in
+        ignore
+          (Engine.spawn e (fun () ->
+               try
+                 Engine.suspend e (fun waker ->
+                     Engine.schedule_after e (Time.ms 1) (fun () ->
+                         waker (Error Not_found)))
+               with Not_found -> caught := true));
+        Engine.run e;
+        checkb "caught" true !caught);
+    Alcotest.test_case "yield lets same-time work run" `Quick (fun () ->
+        let e = Engine.create () in
+        let log = ref [] in
+        ignore
+          (Engine.spawn e (fun () ->
+               log := "a1" :: !log;
+               Engine.yield e;
+               log := "a2" :: !log));
+        ignore (Engine.spawn e (fun () -> log := "b" :: !log));
+        Engine.run e;
+        check Alcotest.(list string) "order" [ "a1"; "b"; "a2" ] (List.rev !log));
+    Alcotest.test_case "stop halts the loop" `Quick (fun () ->
+        let e = Engine.create () in
+        let count = ref 0 in
+        ignore
+          (Engine.spawn e (fun () ->
+               for _ = 1 to 100 do
+                 Engine.sleep e (Time.ms 1);
+                 incr count;
+                 if !count = 5 then Engine.stop e
+               done));
+        Engine.run e;
+        checki "stopped" 5 !count);
+    Alcotest.test_case "identical runs have identical trace hashes" `Quick
+      (fun () ->
+        let run_once () =
+          let e = Engine.create ~seed:11 () in
+          ignore
+            (Engine.spawn e (fun () ->
+                 for i = 1 to 20 do
+                   Engine.sleep e (Time.us (Rng.int (Engine.rng e) 500 + 1));
+                   Engine.record e (Printf.sprintf "step %d" i)
+                 done));
+          Engine.run e;
+          Trace.hash (Engine.trace e)
+        in
+        checkb "equal" true (run_once () = run_once ()));
+    Alcotest.test_case "different seeds give different traces" `Quick (fun () ->
+        let run_once seed =
+          let e = Engine.create ~seed () in
+          ignore
+            (Engine.spawn e (fun () ->
+                 for i = 1 to 20 do
+                   Engine.sleep e (Time.us (Rng.int (Engine.rng e) 500 + 1));
+                   Engine.record e (Printf.sprintf "step %d" i)
+                 done));
+          Engine.run e;
+          Trace.hash (Engine.trace e)
+        in
+        checkb "differ" false (run_once 1 = run_once 2));
+    Alcotest.test_case "blocked_fibers reports reason" `Quick (fun () ->
+        let e = Engine.create () in
+        ignore
+          (Engine.spawn e ~name:"waiter" (fun () ->
+               ignore (Engine.suspend e ~reason:"test-reason" (fun _ -> ()))));
+        Engine.run e;
+        match Engine.blocked_fibers e with
+        | [ desc ] ->
+          checkb "mentions reason" true
+            (String.length desc > 0
+            && String.length desc >= String.length "waiter");
+        | _ -> Alcotest.fail "expected one blocked fiber");
+  ]
+
+(* ---- Sync ----------------------------------------------------------------- *)
+
+let sync_tests =
+  [
+    Alcotest.test_case "ivar delivers to later reader" `Quick (fun () ->
+        let e = Engine.create () in
+        let iv = Sync.Ivar.create e in
+        let got = ref 0 in
+        Sync.Ivar.fill iv 42;
+        ignore (Engine.spawn e (fun () -> got := Sync.Ivar.read iv));
+        Engine.run e;
+        checki "42" 42 !got);
+    Alcotest.test_case "ivar wakes blocked readers" `Quick (fun () ->
+        let e = Engine.create () in
+        let iv = Sync.Ivar.create e in
+        let got = ref [] in
+        for i = 1 to 3 do
+          ignore
+            (Engine.spawn e (fun () ->
+                 let v = Sync.Ivar.read iv in
+                 got := (i, v) :: !got))
+        done;
+        ignore
+          (Engine.spawn e (fun () ->
+               Engine.sleep e (Time.ms 1);
+               Sync.Ivar.fill iv 7));
+        Engine.run e;
+        checki "all three" 3 (List.length !got);
+        checkb "all 7" true (List.for_all (fun (_, v) -> v = 7) !got));
+    Alcotest.test_case "ivar double fill rejected" `Quick (fun () ->
+        let e = Engine.create () in
+        let iv = Sync.Ivar.create e in
+        Sync.Ivar.fill iv 1;
+        checkb "rejected" true
+          (match Sync.Ivar.fill iv 2 with
+          | () -> false
+          | exception Invalid_argument _ -> true);
+        checkb "try_fill false" false (Sync.Ivar.try_fill iv 3));
+    Alcotest.test_case "ivar error propagates" `Quick (fun () ->
+        let e = Engine.create () in
+        let iv = Sync.Ivar.create e in
+        Sync.Ivar.fill_error iv Not_found;
+        let caught = ref false in
+        ignore
+          (Engine.spawn e (fun () ->
+               try ignore (Sync.Ivar.read iv) with Not_found -> caught := true));
+        Engine.run e;
+        checkb "caught" true !caught);
+    Alcotest.test_case "mailbox is FIFO" `Quick (fun () ->
+        let e = Engine.create () in
+        let mb = Sync.Mailbox.create e in
+        let got = ref [] in
+        ignore
+          (Engine.spawn e (fun () ->
+               for _ = 1 to 3 do
+                 let v = Sync.Mailbox.take mb in
+                 got := v :: !got
+               done));
+        ignore
+          (Engine.spawn e (fun () ->
+               List.iter (Sync.Mailbox.put mb) [ 1; 2; 3 ]));
+        Engine.run e;
+        check Alcotest.(list int) "order" [ 1; 2; 3 ] (List.rev !got));
+    Alcotest.test_case "mailbox poison wakes takers" `Quick (fun () ->
+        let e = Engine.create () in
+        let mb : int Sync.Mailbox.t = Sync.Mailbox.create e in
+        let caught = ref false in
+        ignore
+          (Engine.spawn e (fun () ->
+               try ignore (Sync.Mailbox.take mb) with Exit -> caught := true));
+        ignore
+          (Engine.spawn e (fun () ->
+               Engine.sleep e (Time.ms 1);
+               Sync.Mailbox.poison mb Exit));
+        Engine.run e;
+        checkb "caught" true !caught);
+    Alcotest.test_case "mailbox delivers queued items before poison" `Quick
+      (fun () ->
+        let e = Engine.create () in
+        let mb = Sync.Mailbox.create e in
+        Sync.Mailbox.put mb 1;
+        Sync.Mailbox.poison mb Exit;
+        let got = ref 0 and caught = ref false in
+        ignore
+          (Engine.spawn e (fun () ->
+               got := Sync.Mailbox.take mb;
+               try ignore (Sync.Mailbox.take mb) with Exit -> caught := true));
+        Engine.run e;
+        checki "item" 1 !got;
+        checkb "then poison" true !caught);
+    Alcotest.test_case "semaphore serializes" `Quick (fun () ->
+        let e = Engine.create () in
+        let sem = Sync.Semaphore.create e 2 in
+        let active = ref 0 and peak = ref 0 in
+        for _ = 1 to 5 do
+          ignore
+            (Engine.spawn e (fun () ->
+                 Sync.Semaphore.acquire sem;
+                 incr active;
+                 peak := max !peak !active;
+                 Engine.sleep e (Time.ms 2);
+                 decr active;
+                 Sync.Semaphore.release sem))
+        done;
+        Engine.run e;
+        checki "peak" 2 !peak);
+    Alcotest.test_case "waitq signal order is FIFO" `Quick (fun () ->
+        let e = Engine.create () in
+        let q = Sync.Waitq.create e in
+        let got = ref [] in
+        for i = 1 to 3 do
+          ignore
+            (Engine.spawn e (fun () ->
+                 let v = Sync.Waitq.wait q in
+                 got := (i, v) :: !got))
+        done;
+        ignore
+          (Engine.spawn e (fun () ->
+               Engine.sleep e (Time.ms 1);
+               ignore (Sync.Waitq.signal q "x");
+               ignore (Sync.Waitq.signal q "y");
+               ignore (Sync.Waitq.signal q "z")));
+        Engine.run e;
+        check
+          Alcotest.(list (pair int string))
+          "fifo" [ (1, "x"); (2, "y"); (3, "z") ]
+          (List.rev !got));
+    Alcotest.test_case "stats counters accumulate and diff" `Quick (fun () ->
+        let s = Stats.create () in
+        Stats.incr s "a";
+        Stats.incr s ~by:4 "a";
+        Stats.incr s "b";
+        checki "a" 5 (Stats.get s "a");
+        checki "missing" 0 (Stats.get s "zzz");
+        let before = Stats.snapshot s in
+        Stats.incr s ~by:2 "a";
+        Stats.incr s "c";
+        let d = Stats.diff ~before ~after:(Stats.snapshot s) in
+        checki "a diff" 2 (List.assoc "a" d);
+        checki "c diff" 1 (List.assoc "c" d);
+        checkb "b unchanged" true (not (List.mem_assoc "b" d)));
+    Alcotest.test_case "series statistics" `Quick (fun () ->
+        let s = Stats.Series.create () in
+        List.iter (fun n -> Stats.Series.add s (Time.ms n)) [ 4; 2; 6 ];
+        checki "count" 3 (Stats.Series.count s);
+        checki "mean" (Time.to_ns (Time.ms 4)) (Time.to_ns (Stats.Series.mean s));
+        checki "min" (Time.to_ns (Time.ms 2)) (Time.to_ns (Stats.Series.min s));
+        checki "max" (Time.to_ns (Time.ms 6)) (Time.to_ns (Stats.Series.max s));
+        checki "p50" (Time.to_ns (Time.ms 4))
+          (Time.to_ns (Stats.Series.percentile s 0.5)));
+  ]
+
+let extra_tests =
+  [
+    Alcotest.test_case "waitq broadcast_error wakes everyone" `Quick (fun () ->
+        let e = Engine.create () in
+        let q : int Sync.Waitq.t = Sync.Waitq.create e in
+        let woken = ref 0 in
+        for _ = 1 to 3 do
+          ignore
+            (Engine.spawn e (fun () ->
+                 try ignore (Sync.Waitq.wait q)
+                 with Not_found -> incr woken))
+        done;
+        ignore
+          (Engine.spawn e (fun () ->
+               Engine.sleep e (Time.ms 1);
+               checki "three waiters" 3 (Sync.Waitq.waiters q);
+               checki "three woken" 3 (Sync.Waitq.broadcast_error q Not_found)));
+        Engine.run e;
+        checki "all woke with the error" 3 !woken);
+    Alcotest.test_case "waitq signal_error targets one waiter" `Quick
+      (fun () ->
+        let e = Engine.create () in
+        let q : unit Sync.Waitq.t = Sync.Waitq.create e in
+        let errs = ref 0 and oks = ref 0 in
+        for _ = 1 to 2 do
+          ignore
+            (Engine.spawn e (fun () ->
+                 match Sync.Waitq.wait q with
+                 | () -> incr oks
+                 | exception Exit -> incr errs))
+        done;
+        ignore
+          (Engine.spawn e (fun () ->
+               Engine.sleep e (Time.ms 1);
+               ignore (Sync.Waitq.signal_error q Exit);
+               ignore (Sync.Waitq.signal q ())));
+        Engine.run e;
+        checki "one error" 1 !errs;
+        checki "one ok" 1 !oks);
+    Alcotest.test_case "mailbox peek and length" `Quick (fun () ->
+        let e = Engine.create () in
+        let mb = Sync.Mailbox.create e in
+        checkb "empty" true (Sync.Mailbox.is_empty mb);
+        Sync.Mailbox.put mb 1;
+        Sync.Mailbox.put mb 2;
+        checki "length" 2 (Sync.Mailbox.length mb);
+        checkb "peek head" true (Sync.Mailbox.peek_opt mb = Some 1);
+        checkb "peek does not consume" true (Sync.Mailbox.length mb = 2);
+        checkb "take_opt" true (Sync.Mailbox.take_opt mb = Some 1));
+    Alcotest.test_case "semaphore reports availability" `Quick (fun () ->
+        let e = Engine.create () in
+        let sem = Sync.Semaphore.create e 3 in
+        ignore
+          (Engine.spawn e (fun () ->
+               Sync.Semaphore.acquire sem;
+               checki "two left" 2 (Sync.Semaphore.available sem);
+               Sync.Semaphore.release sem;
+               checki "back to three" 3 (Sync.Semaphore.available sem)));
+        Engine.run e);
+    Alcotest.test_case "run_until can be continued by run" `Quick (fun () ->
+        let e = Engine.create () in
+        let steps = ref 0 in
+        ignore
+          (Engine.spawn e (fun () ->
+               for _ = 1 to 10 do
+                 Engine.sleep e (Time.ms 10);
+                 incr steps
+               done));
+        Engine.run_until e (Time.ms 45);
+        checki "four so far" 4 !steps;
+        Engine.run e;
+        checki "all ten" 10 !steps);
+    Alcotest.test_case "record feeds the trace" `Quick (fun () ->
+        let e = Engine.create () in
+        ignore
+          (Engine.spawn e (fun () ->
+               Engine.record e "one";
+               Engine.sleep e (Time.ms 1);
+               Engine.record e "two"));
+        Engine.run e;
+        checki "two events" 2 (Trace.count (Engine.trace e));
+        match Trace.recent (Engine.trace e) 2 with
+        | [ (_, "one"); (t2, "two") ] ->
+          checki "timestamped" (Time.to_ns (Time.ms 1)) (Time.to_ns t2)
+        | _ -> Alcotest.fail "unexpected trace");
+    Alcotest.test_case "fibers can spawn fibers" `Quick (fun () ->
+        let e = Engine.create () in
+        let order = ref [] in
+        ignore
+          (Engine.spawn e ~name:"parent" (fun () ->
+               order := "parent" :: !order;
+               ignore
+                 (Engine.spawn e ~name:"child" (fun () ->
+                      Engine.sleep e (Time.ms 1);
+                      order := "child" :: !order));
+               Engine.sleep e (Time.ms 2);
+               order := "parent-end" :: !order));
+        Engine.run e ~expect_quiescent:true;
+        Alcotest.check
+          Alcotest.(list string)
+          "order"
+          [ "parent"; "child"; "parent-end" ]
+          (List.rev !order));
+    Alcotest.test_case "current_fiber_name tracks context" `Quick (fun () ->
+        let e = Engine.create () in
+        let inside = ref "" in
+        ignore
+          (Engine.spawn e ~name:"worker" (fun () ->
+               inside := Engine.current_fiber_name e));
+        Alcotest.check Alcotest.string "outside" "<scheduler>"
+          (Engine.current_fiber_name e);
+        Engine.run e;
+        Alcotest.check Alcotest.string "inside" "worker" !inside);
+    Alcotest.test_case "time unit conversions agree" `Quick (fun () ->
+        checkb "us float" true
+          (Time.to_us (Time.of_us_float 12.5) = 12.5);
+        checkb "sec" true (Time.to_sec (Time.sec 2) = 2.0);
+        checkb "is_zero" true (Time.is_zero Time.zero);
+        checkb "not zero" false (Time.is_zero (Time.ns 1)));
+  ]
+
+let () =
+  Alcotest.run "sim"
+    [
+      ("time", time_tests);
+      ("heap", heap_tests @ [ QCheck_alcotest.to_alcotest heap_property ]);
+      ("rng", rng_tests);
+      ("trace", trace_tests);
+      ("engine", engine_tests);
+      ("sync", sync_tests);
+      ("extra", extra_tests);
+    ]
