@@ -185,6 +185,96 @@ let repair_cmd =
        ~doc:"SODA hint repair under broadcast loss, and the §4.2.1 budget.")
     Term.(const run $ loss $ seed_arg)
 
+(* ---- explore: schedule exploration with invariant checking ---------------- *)
+
+let explore_cmd =
+  let seeds =
+    Arg.(
+      value & opt int 25
+      & info [ "n"; "seeds" ] ~docv:"N"
+          ~doc:"Number of seeds to explore (seeds 1..N).")
+  in
+  let policy_conv =
+    let parse s =
+      match Explore.Driver.policy_kind_of_string s with
+      | Some p -> Ok p
+      | None -> Error (`Msg (Printf.sprintf "unknown policy %S" s))
+    in
+    let print ppf p =
+      Format.pp_print_string ppf (Explore.Driver.policy_kind_name p)
+    in
+    Arg.conv (parse, print)
+  in
+  let policies =
+    let doc = "Scheduling policy to explore (fifo, random, jitter); repeatable." in
+    Arg.(value & opt_all policy_conv [] & info [ "policy" ] ~docv:"POLICY" ~doc)
+  in
+  let scenario_filter =
+    let doc = "Restrict to one scenario; repeatable." in
+    Arg.(value & opt_all string [] & info [ "scenario" ] ~docv:"SCENARIO" ~doc)
+  in
+  let backend_filter =
+    let doc = "Restrict to one backend; repeatable." in
+    Arg.(value & opt_all string [] & info [ "backend" ] ~docv:"BACKEND" ~doc)
+  in
+  let run n policies scenario_filter backend_filter =
+    let module D = Explore.Driver in
+    let seeds = List.init (max n 0) (fun i -> i + 1) in
+    let policies = if policies = [] then D.all_policies else policies in
+    let scenarios =
+      if scenario_filter = [] then D.scenario_names
+      else begin
+        List.iter
+          (fun s ->
+            if not (List.mem s D.scenario_names) then begin
+              Printf.eprintf "unknown scenario %S (have: %s)\n" s
+                (String.concat ", " D.scenario_names);
+              exit 2
+            end)
+          scenario_filter;
+        scenario_filter
+      end
+    in
+    let backends =
+      if backend_filter = [] then D.backend_names
+      else begin
+        List.iter
+          (fun b ->
+            if not (List.mem b D.backend_names) then begin
+              Printf.eprintf "unknown backend %S (have: %s)\n" b
+                (String.concat ", " D.backend_names);
+              exit 2
+            end)
+          backend_filter;
+        backend_filter
+      end
+    in
+    let results = D.sweep ~scenarios ~backends ~seeds ~policies () in
+    if results = [] then begin
+      print_endline "no runs selected";
+      exit 2
+    end;
+    Printf.printf "explored %d runs (%d scenarios, %d backends, %d seeds, %d policies)\n\n"
+      (List.length results) (List.length scenarios) (List.length backends)
+      (List.length seeds) (List.length policies);
+    print_string (D.summary results);
+    match D.failures results with
+    | [] -> print_endline "\nall invariants held on every run"
+    | fails ->
+      Printf.printf "\n%d failing runs; repro dumps follow\n\n"
+        (List.length fails);
+      List.iter
+        (fun r -> print_string (D.repro r.D.r_case); print_newline ())
+        fails;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Sweep every scenario x backend x seed x scheduling policy, check \
+          all invariants, and dump a deterministic repro for any failure.")
+    Term.(const run $ seeds $ policies $ scenario_filter $ backend_filter)
+
 (* ---- backends ------------------------------------------------------------ *)
 
 let backends_cmd =
@@ -204,4 +294,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "lynx_sim" ~version:"1.0.0" ~doc)
-          [ rpc_cmd; scenario_cmd; sweep_cmd; repair_cmd; backends_cmd ]))
+          [ rpc_cmd; scenario_cmd; sweep_cmd; repair_cmd; explore_cmd; backends_cmd ]))

@@ -1,0 +1,182 @@
+open Sim
+module BW = Harness.Backend_world
+module S = Harness.Scenarios
+
+type policy_kind = Fifo | Random | Jitter
+
+let policy_kind_name = function
+  | Fifo -> "fifo"
+  | Random -> "random"
+  | Jitter -> "jitter"
+
+let policy_kind_of_string = function
+  | "fifo" -> Some Fifo
+  | "random" -> Some Random
+  | "jitter" -> Some Jitter
+  | _ -> None
+
+let all_policies = [ Fifo; Random; Jitter ]
+
+(* The jitter bound must stay well under the millisecond-scale timing
+   margins the scenarios are written with: it perturbs which of two
+   nearby events wins a race without rewriting the script. *)
+let jitter_bound = Time.us 20
+
+let engine_policy kind ~seed =
+  match kind with
+  | Fifo -> Engine.Fifo
+  | Random -> Engine.Random_order seed
+  | Jitter -> Engine.Delay_jitter { jitter_seed = seed; bound = jitter_bound }
+
+type case = {
+  c_scenario : string;
+  c_backend : string;
+  c_seed : int;
+  c_policy : policy_kind;
+}
+
+type result = {
+  r_case : case;
+  r_ok : bool;
+  r_violations : Invariant.violation list;
+  r_detail : string;
+  r_duration : Time.t;
+}
+
+let case_name c =
+  Printf.sprintf "%s/%s/%d/%s" c.c_scenario c.c_backend c.c_seed
+    (policy_kind_name c.c_policy)
+
+(* Registry: scenario name -> runner.  Runners return [None] when the
+   scenario does not apply to the given backend. *)
+let soda_only (module W : BW.WORLD) run = if W.name = "soda" then Some (run ()) else None
+
+let scenarios :
+    (string
+    * (seed:int -> policy:Engine.policy -> (module BW.WORLD) -> S.outcome option))
+    list =
+  [
+    ( "move",
+      fun ~seed ~policy w -> Some (S.simultaneous_move ~seed ~policy w) );
+    ( "enclosures",
+      fun ~seed ~policy w ->
+        Some (S.enclosure_protocol ~seed ~policy ~n_encl:3 w) );
+    ( "cross-request",
+      fun ~seed ~policy w -> Some (S.cross_request ~seed ~policy w) );
+    ( "open-close",
+      fun ~seed ~policy w -> Some (S.open_close_race ~seed ~policy w) );
+    ( "lost-enclosure",
+      fun ~seed ~policy w -> Some (S.lost_enclosure ~seed ~policy w) );
+    ( "bounced-enclosure",
+      fun ~seed ~policy w -> Some (S.bounced_enclosure ~seed ~policy w) );
+    ( "hint-repair",
+      fun ~seed ~policy w ->
+        soda_only w (fun () -> S.soda_hint_repair ~seed ~policy ()) );
+    ( "pair-pressure",
+      fun ~seed ~policy w ->
+        soda_only w (fun () -> S.soda_pair_pressure ~seed ~policy ()) );
+  ]
+
+let scenario_names = List.map fst scenarios
+
+let backend_names =
+  List.map (fun (module W : BW.WORLD) -> W.name) BW.all
+
+let run_outcome case =
+  match List.assoc_opt case.c_scenario scenarios with
+  | None -> invalid_arg (Printf.sprintf "unknown scenario %S" case.c_scenario)
+  | Some runner ->
+    runner ~seed:case.c_seed
+      ~policy:(engine_policy case.c_policy ~seed:case.c_seed)
+      (BW.find_exn case.c_backend)
+
+let assess case (o : S.outcome) =
+  {
+    r_case = case;
+    r_ok = o.S.o_ok;
+    r_violations = Invariant.check o;
+    r_detail = o.S.o_detail;
+    r_duration = o.S.o_duration;
+  }
+
+let run_case case = Option.map (assess case) (run_outcome case)
+
+let sweep ?(scenarios = scenario_names) ?(backends = backend_names)
+    ?(seeds = [ 1; 2; 3; 4; 5 ]) ?(policies = [ Fifo; Random ]) () =
+  List.concat_map
+    (fun c_scenario ->
+      List.concat_map
+        (fun c_backend ->
+          List.concat_map
+            (fun c_seed ->
+              List.filter_map
+                (fun c_policy ->
+                  run_case { c_scenario; c_backend; c_seed; c_policy })
+                policies)
+            seeds)
+        backends)
+    scenarios
+
+let failed r = (not r.r_ok) || r.r_violations <> []
+let failures results = List.filter failed results
+
+let repro case =
+  let buf = Buffer.create 1024 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr "repro %s\n" (case_name case);
+  (match run_outcome case with
+  | None -> pr "  scenario does not apply to this backend\n"
+  | Some o ->
+    let v = o.S.o_view in
+    pr "  ok=%b  detail: %s\n" o.S.o_ok o.S.o_detail;
+    pr "  duration %s, clock %s, %d trace events (hash %d)\n"
+      (Time.to_string o.S.o_duration)
+      (Time.to_string v.Engine.v_now)
+      v.Engine.v_trace_count v.Engine.v_trace_hash;
+    List.iter
+      (fun viol -> pr "  VIOLATION %s\n" (Invariant.to_string viol))
+      (Invariant.check o);
+    let unfinished =
+      List.filter
+        (fun f -> f.Engine.fi_state <> "finished")
+        v.Engine.v_fibers
+    in
+    if unfinished <> [] then begin
+      pr "  unfinished fibers:\n";
+      List.iter
+        (fun f ->
+          pr "    #%d %s%s  %s\n" f.Engine.fi_id f.Engine.fi_name
+            (if f.Engine.fi_daemon then " (daemon)" else "")
+            f.Engine.fi_state)
+        unfinished
+    end;
+    pr "  trace tail:\n";
+    List.iter
+      (fun (t, msg) -> pr "    %-12s %s\n" (Time.to_string t) msg)
+      v.Engine.v_trace);
+  Buffer.contents buf
+
+let summary results =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      let key = (r.r_case.c_scenario, policy_kind_name r.r_case.c_policy) in
+      let runs, fails =
+        Option.value ~default:(0, 0) (Hashtbl.find_opt tbl key)
+      in
+      Hashtbl.replace tbl key
+        (runs + 1, if failed r then fails + 1 else fails))
+    results;
+  let rows =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+    |> List.sort compare
+  in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-20s %-8s %6s %6s\n" "scenario" "policy" "runs" "fail");
+  List.iter
+    (fun ((sc, pol), (runs, fails)) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-20s %-8s %6d %6d\n" sc pol runs fails))
+    rows;
+  Buffer.contents buf

@@ -1,0 +1,77 @@
+(** Schedule-exploration driver.
+
+    Replays every {!Harness.Scenarios} scenario on every backend under
+    many seeds and scheduling policies, checks each run against the
+    {!Invariant}s, and — for any failing case — can re-derive a full
+    repro dump from just the (scenario, backend, seed, policy) tuple,
+    because runs are deterministic. *)
+
+type policy_kind =
+  | Fifo  (** deterministic FIFO — the default schedule *)
+  | Random  (** seeded random ordering of same-time tasks *)
+  | Jitter  (** bounded random per-task delay (default 20us) *)
+
+val policy_kind_name : policy_kind -> string
+val policy_kind_of_string : string -> policy_kind option
+val all_policies : policy_kind list
+
+val engine_policy : policy_kind -> seed:int -> Sim.Engine.policy
+(** The concrete engine policy a case runs under: exploration policies
+    derive their scheduling seed from the case seed, so one integer
+    reproduces the whole run. *)
+
+type case = {
+  c_scenario : string;
+  c_backend : string;
+  c_seed : int;
+  c_policy : policy_kind;
+}
+
+type result = {
+  r_case : case;
+  r_ok : bool;  (** the scenario's own success verdict *)
+  r_violations : Invariant.violation list;
+  r_detail : string;
+  r_duration : Sim.Time.t;
+}
+
+val scenario_names : string list
+(** All registered scenarios.  The cross-backend ones run everywhere;
+    ["hint-repair"] and ["pair-pressure"] are SODA-specific and are
+    skipped on other backends. *)
+
+val backend_names : string list
+
+val case_name : case -> string
+(** ["scenario/backend/seed/policy"] — the repro handle. *)
+
+val run_case : case -> result option
+(** [None] when the scenario does not apply to the backend. *)
+
+val assess : case -> Harness.Scenarios.outcome -> result
+(** Judge an already-obtained outcome as if [run_case] had produced it —
+    the hook test fixtures use to feed deliberately broken outcomes
+    through the same reporting path. *)
+
+val sweep :
+  ?scenarios:string list ->
+  ?backends:string list ->
+  ?seeds:int list ->
+  ?policies:policy_kind list ->
+  unit ->
+  result list
+(** The full product of scenarios x backends x seeds x policies
+    (defaults: all scenarios, the three primary backends, seeds 1-5,
+    [Fifo] and [Random]), minus inapplicable combinations. *)
+
+val failures : result list -> result list
+(** Results that violated an invariant or missed the scenario's expected
+    final state — the minimal failing cases to rerun. *)
+
+val repro : case -> string
+(** Re-runs the failing case with tracing and dumps scenario verdict,
+    violations, final fiber states and the trace tail — everything
+    needed to reproduce and debug the failure from its seed. *)
+
+val summary : result list -> string
+(** Per-(scenario, policy) pass/fail table over all results. *)

@@ -12,9 +12,29 @@ type outcome = {
   o_duration : Time.t;
   o_counters : (string * int) list;  (** increments during the scenario *)
   o_detail : string;
+  o_seed : int;
+  o_policy : string;  (** scheduling policy name, e.g. "fifo" *)
+  o_view : Engine.view;  (** engine state at the end, for invariant checks *)
 }
 
 let counter o name_ = try List.assoc name_ o.o_counters with Not_found -> 0
+
+(* Every scenario ends the same way: diff the counters, time the run and
+   snapshot the engine for the invariant checkers. *)
+let finish ?duration ~seed ~eng ~sts ~before ?(t0 = ref Time.zero) ~ok ~detail
+    () =
+  {
+    o_ok = ok;
+    o_duration =
+      (match duration with
+      | Some d -> d
+      | None -> Time.sub (Engine.now eng) !t0);
+    o_counters = Stats.diff ~before:!before ~after:(Stats.snapshot sts);
+    o_detail = detail;
+    o_seed = seed;
+    o_policy = Engine.policy_name (Engine.policy eng);
+    o_view = Engine.view eng;
+  }
 
 let str s = Lynx.Value.Str s
 let link l = Lynx.Value.Link l
@@ -23,8 +43,8 @@ let link l = Lynx.Value.Link l
     them {e simultaneously} — A gives its end to B, D gives its end to
     C.  What used to connect A to D must now connect B to C, proven by a
     B->C call over the moved link. *)
-let simultaneous_move ?(seed = 42) (module W : WORLD) : outcome =
-  let eng = Engine.create ~seed () in
+let simultaneous_move ?(seed = 42) ?policy (module W : WORLD) : outcome =
+  let eng = Engine.create ~seed ?policy () in
   let w = W.create eng ~nodes:6 in
   let sts = W.stats w in
   let result = ref "not finished" in
@@ -100,20 +120,16 @@ let simultaneous_move ?(seed = 42) (module W : WORLD) : outcome =
          Sync.Ivar.fill l_da da));
   Engine.run eng;
   let ok = Sync.Ivar.peek finished = Some true in
-  {
-    o_ok = ok;
-    o_duration = Time.sub (Engine.now eng) !t0;
-    o_counters = Stats.diff ~before:!before ~after:(Stats.snapshot sts);
-    o_detail = !result;
-  }
+  finish ~seed ~eng ~sts ~before ~t0 ~ok ~detail:!result ()
 
 (** Figure 2: one LYNX request moving [n_encl] link ends, answered by an
     empty reply.  The interesting output is the counter diff: under
     Charlotte the kernel-message count grows with the enclosure count
     (first packet, goahead, enc packets); under SODA and Chrysalis it
     does not. *)
-let enclosure_protocol ?(seed = 42) ~n_encl (module W : WORLD) : outcome =
-  let eng = Engine.create ~seed () in
+let enclosure_protocol ?(seed = 42) ?policy ~n_encl (module W : WORLD) :
+    outcome =
+  let eng = Engine.create ~seed ?policy () in
   let w = W.create eng ~nodes:4 in
   let sts = W.stats w in
   let ok = ref false in
@@ -147,12 +163,10 @@ let enclosure_protocol ?(seed = 42) ~n_encl (module W : WORLD) : outcome =
          t0 := Engine.now eng;
          Sync.Ivar.fill client_link ce));
   Engine.run eng;
-  {
-    o_ok = !ok && !received = n_encl;
-    o_duration = Time.sub (Engine.now eng) !t0;
-    o_counters = Stats.diff ~before:!before ~after:(Stats.snapshot sts);
-    o_detail = Printf.sprintf "%d enclosures arrived" !received;
-  }
+  finish ~seed ~eng ~sts ~before ~t0
+    ~ok:(!ok && !received = n_encl)
+    ~detail:(Printf.sprintf "%d enclosures arrived" !received)
+    ()
 
 (** §3.2.1, first scenario: A requests an operation on L and waits for
     the reply with its request queue closed; B, before replying,
@@ -160,8 +174,8 @@ let enclosure_protocol ?(seed = 42) ~n_encl (module W : WORLD) : outcome =
     request unintentionally and must bounce it with [Forbid] (it cannot
     stop receiving — it still wants the reply), then [Allow] it once it
     is willing.  On SODA and Chrysalis nothing is ever bounced. *)
-let cross_request ?(seed = 42) (module W : WORLD) : outcome =
-  let eng = Engine.create ~seed () in
+let cross_request ?(seed = 42) ?policy (module W : WORLD) : outcome =
+  let eng = Engine.create ~seed ?policy () in
   let w = W.create eng ~nodes:4 in
   let sts = W.stats w in
   let a_done = ref false and b_done = ref false in
@@ -206,20 +220,17 @@ let cross_request ?(seed = 42) (module W : WORLD) : outcome =
          t0 := Engine.now eng;
          Sync.Ivar.fill link_a la));
   Engine.run eng;
-  {
-    o_ok = !a_done && !b_done;
-    o_duration = Time.sub (Engine.now eng) !t0;
-    o_counters = Stats.diff ~before:!before ~after:(Stats.snapshot sts);
-    o_detail =
-      Printf.sprintf "a_done=%b b_done=%b" !a_done !b_done;
-  }
+  finish ~seed ~eng ~sts ~before ~t0
+    ~ok:(!a_done && !b_done)
+    ~detail:(Printf.sprintf "a_done=%b b_done=%b" !a_done !b_done)
+    ()
 
 (** §3.2.1, second scenario: A opens its request queue and closes it
     again before reaching a block point; B requests in the window.  The
     cancel fails, A receives the unwanted request and returns it with
     [Retry]; the kernel delays B's retransmission until A reopens. *)
-let open_close_race ?(seed = 42) (module W : WORLD) : outcome =
-  let eng = Engine.create ~seed () in
+let open_close_race ?(seed = 42) ?policy (module W : WORLD) : outcome =
+  let eng = Engine.create ~seed ?policy () in
   let w = W.create eng ~nodes:4 in
   let sts = W.stats w in
   let served = ref false and b_done = ref false in
@@ -260,12 +271,10 @@ let open_close_race ?(seed = 42) (module W : WORLD) : outcome =
          Sync.Ivar.fill link_a la;
          Sync.Ivar.fill link_b lb));
   Engine.run eng;
-  {
-    o_ok = !served && !b_done;
-    o_duration = Time.sub (Engine.now eng) !t0;
-    o_counters = Stats.diff ~before:!before ~after:(Stats.snapshot sts);
-    o_detail = Printf.sprintf "served=%b b_done=%b" !served !b_done;
-  }
+  finish ~seed ~eng ~sts ~before ~t0
+    ~ok:(!served && !b_done)
+    ~detail:(Printf.sprintf "served=%b b_done=%b" !served !b_done)
+    ()
 
 (** §3.2.2: the Charlotte deviation.  B calls A and waits for the reply
     — so under Charlotte B has a receive posted, wanting only replies.
@@ -276,8 +285,8 @@ let open_close_race ?(seed = 42) (module W : WORLD) : outcome =
     Chrysalis B never receives the unwanted message, so the enclosure
     survives ([far_end_died] stays false and the failed send recovers
     the end). *)
-let lost_enclosure ?(seed = 42) (module W : WORLD) : outcome =
-  let eng = Engine.create ~seed () in
+let lost_enclosure ?(seed = 42) ?policy (module W : WORLD) : outcome =
+  let eng = Engine.create ~seed ?policy () in
   let w = W.create eng ~nodes:4 in
   let sts = W.stats w in
   let far_end_died = ref false
@@ -329,14 +338,11 @@ let lost_enclosure ?(seed = 42) (module W : WORLD) : outcome =
          Sync.Ivar.fill link_a la;
          Sync.Ivar.fill link_b lb));
   Engine.run eng;
-  {
-    o_ok = !send_failed;
-    o_duration = Time.sub (Engine.now eng) !t0;
-    o_counters = Stats.diff ~before:!before ~after:(Stats.snapshot sts);
-    o_detail =
-      Printf.sprintf "far_end_died=%b send_failed=%b recovered=%b"
-        !far_end_died !send_failed !enclosure_recovered;
-  }
+  finish ~seed ~eng ~sts ~before ~t0 ~ok:!send_failed
+    ~detail:
+      (Printf.sprintf "far_end_died=%b send_failed=%b recovered=%b"
+         !far_end_died !send_failed !enclosure_recovered)
+    ()
 
 (** SODA-specific: the hint-repair machinery under a given broadcast
     loss rate.  A link end moves A -> B, then the cache holder A dies;
@@ -345,8 +351,8 @@ let lost_enclosure ?(seed = 42) (module W : WORLD) : outcome =
     as the loss rate rises the freeze/unfreeze absolute search (§4.2)
     takes over.  Returns the usual outcome; the counters of interest
     are [lynx_soda.discover_attempts] and [lynx_soda.freeze_searches]. *)
-let soda_hint_repair ?(seed = 42) ?(broadcast_loss = 0.05) () : outcome =
-  let eng = Engine.create ~seed () in
+let soda_hint_repair ?(seed = 42) ?policy ?(broadcast_loss = 0.05) () : outcome =
+  let eng = Engine.create ~seed ?policy () in
   let w =
     Lynx_soda.World.create
       ~kernel_costs:{ Soda.Costs.default with Soda.Costs.broadcast_loss }
@@ -409,21 +415,18 @@ let soda_hint_repair ?(seed = 42) ?(broadcast_loss = 0.05) () : outcome =
          Sync.Ivar.fill l_da da;
          Sync.Ivar.fill l_ab ab));
   Engine.run eng;
-  {
-    o_ok = !ok;
-    o_duration = !repair_duration;
-    o_counters = Stats.diff ~before:!before ~after:(Stats.snapshot sts);
-    o_detail =
-      Printf.sprintf "loss=%.2f repaired=%b in %s" broadcast_loss !ok
-        (Time.to_string !repair_duration);
-  }
+  finish ~duration:!repair_duration ~seed ~eng ~sts ~before ~t0 ~ok:!ok
+    ~detail:
+      (Printf.sprintf "loss=%.2f repaired=%b in %s" broadcast_loss !ok
+         (Time.to_string !repair_duration))
+    ()
 
 (** An unwanted request {e carrying a link end}: under Charlotte the
     bounce (retry or forbid) must return the enclosure to the sender,
     which retransmits; the end must arrive intact once the receiver
     becomes willing.  Under SODA/Chrysalis the message simply waits. *)
-let bounced_enclosure ?(seed = 42) (module W : WORLD) : outcome =
-  let eng = Engine.create ~seed () in
+let bounced_enclosure ?(seed = 42) ?policy (module W : WORLD) : outcome =
+  let eng = Engine.create ~seed ?policy () in
   let w = W.create eng ~nodes:4 in
   let sts = W.stats w in
   let delivered = ref false and pong = ref false in
@@ -471,12 +474,10 @@ let bounced_enclosure ?(seed = 42) (module W : WORLD) : outcome =
          Sync.Ivar.fill link_a la;
          Sync.Ivar.fill link_b lb));
   Engine.run eng;
-  {
-    o_ok = !delivered && !pong;
-    o_duration = Time.sub (Engine.now eng) !t0;
-    o_counters = Stats.diff ~before:!before ~after:(Stats.snapshot sts);
-    o_detail = Printf.sprintf "delivered=%b pong=%b" !delivered !pong;
-  }
+  finish ~seed ~eng ~sts ~before ~t0
+    ~ok:(!delivered && !pong)
+    ~detail:(Printf.sprintf "delivered=%b pong=%b" !delivered !pong)
+    ()
 
 (** SODA-specific (§4.2.1): [n_links] links between one pair of
     processes, one concurrent call on each, bounded by [deadline] of
@@ -485,9 +486,9 @@ let bounced_enclosure ?(seed = 42) (module W : WORLD) : outcome =
     kernel's per-pair outstanding-request limit and the data puts
     starve — the deadlock the paper warns about.  [o_ok] reports
     whether {e all} calls completed; [o_detail] has the tally. *)
-let soda_pair_pressure ?(seed = 42) ?(budget = true) ?(n_links = 6)
+let soda_pair_pressure ?(seed = 42) ?policy ?(budget = true) ?(n_links = 6)
     ?(deadline = Time.sec 2) () : outcome =
-  let eng = Engine.create ~seed () in
+  let eng = Engine.create ~seed ?policy () in
   let w = Lynx_soda.World.create ~signal_budget:budget eng ~nodes:4 in
   let sts = Lynx_soda.World.stats w in
   let completed = ref 0 in
@@ -535,10 +536,8 @@ let soda_pair_pressure ?(seed = 42) ?(budget = true) ?(n_links = 6)
          done));
   (* The unbudgeted variant livelocks: cut it off at the deadline. *)
   Engine.run_until eng deadline;
-  {
-    o_ok = !completed = n_links;
-    o_duration = Engine.now eng;
-    o_counters = Stats.diff ~before:!before ~after:(Stats.snapshot sts);
-    o_detail =
-      Printf.sprintf "budget=%b completed=%d/%d" budget !completed n_links;
-  }
+  finish ~duration:(Engine.now eng) ~seed ~eng ~sts ~before
+    ~ok:(!completed = n_links)
+    ~detail:
+      (Printf.sprintf "budget=%b completed=%d/%d" budget !completed n_links)
+    ()

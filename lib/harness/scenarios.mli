@@ -11,38 +11,52 @@ type outcome = {
   o_duration : Sim.Time.t;  (** virtual time from kickoff to quiescence *)
   o_counters : (string * int) list;  (** counter increments during the run *)
   o_detail : string;  (** human-readable summary of what happened *)
+  o_seed : int;  (** the seed the scenario ran under *)
+  o_policy : string;  (** scheduling policy name, e.g. "fifo" *)
+  o_view : Sim.Engine.view;
+      (** engine state at the end of the run, for invariant checking *)
 }
 
 val counter : outcome -> string -> int
 (** [counter o name] is the increment of [name] during the scenario
     (0 if absent). *)
 
-val simultaneous_move : ?seed:int -> (module WORLD) -> outcome
+val simultaneous_move :
+  ?seed:int -> ?policy:Sim.Engine.policy -> (module WORLD) -> outcome
 (** Figure 1: A and D hold the two ends of one link and move them at the
     same instant (A's end to B, D's end to C); a B->C call over the
     moved link proves it survived. *)
 
-val enclosure_protocol : ?seed:int -> n_encl:int -> (module WORLD) -> outcome
+val enclosure_protocol :
+  ?seed:int ->
+  ?policy:Sim.Engine.policy ->
+  n_encl:int ->
+  (module WORLD) ->
+  outcome
 (** Figure 2: one request moving [n_encl] ends, answered by an empty
     reply.  Under Charlotte the kernel-message count grows with
     [n_encl]; under SODA and Chrysalis it does not. *)
 
-val cross_request : ?seed:int -> (module WORLD) -> outcome
+val cross_request :
+  ?seed:int -> ?policy:Sim.Engine.policy -> (module WORLD) -> outcome
 (** §3.2.1, first case: B requests an operation in the reverse direction
     before replying, while A's request queue is closed.  Charlotte must
     bounce it with [Forbid]/[Allow]. *)
 
-val open_close_race : ?seed:int -> (module WORLD) -> outcome
+val open_close_race :
+  ?seed:int -> ?policy:Sim.Engine.policy -> (module WORLD) -> outcome
 (** §3.2.1, second case: A opens and closes its request queue before a
     block point while B's request is in flight; the failed [Cancel]
     delivers an unwanted message that Charlotte returns with [Retry]. *)
 
-val lost_enclosure : ?seed:int -> (module WORLD) -> outcome
+val lost_enclosure :
+  ?seed:int -> ?policy:Sim.Engine.policy -> (module WORLD) -> outcome
 (** §3.2.2: B receives a request (enclosing an end) it never wanted and
     dies before bouncing it.  Under Charlotte the end is lost; under
     SODA and Chrysalis the failed send recovers it. *)
 
-val bounced_enclosure : ?seed:int -> (module WORLD) -> outcome
+val bounced_enclosure :
+  ?seed:int -> ?policy:Sim.Engine.policy -> (module WORLD) -> outcome
 (** An unwanted request carrying a link end: under Charlotte the bounce
     returns the enclosure and the retransmission delivers it once the
     receiver is willing; under SODA/Chrysalis the message just waits.
@@ -50,6 +64,7 @@ val bounced_enclosure : ?seed:int -> (module WORLD) -> outcome
 
 val soda_pair_pressure :
   ?seed:int ->
+  ?policy:Sim.Engine.policy ->
   ?budget:bool ->
   ?n_links:int ->
   ?deadline:Sim.Time.t ->
@@ -61,7 +76,11 @@ val soda_pair_pressure :
     puts starve — the deadlock the paper warns about. *)
 
 val soda_hint_repair :
-  ?seed:int -> ?broadcast_loss:float -> unit -> outcome
+  ?seed:int ->
+  ?policy:Sim.Engine.policy ->
+  ?broadcast_loss:float ->
+  unit ->
+  outcome
 (** SODA-specific (§4.2): a doubly-stale hint (the end moved on and the
     forwarding-cache holder died) repaired by discover and, as the
     broadcast gets lossier, by the freeze/unfreeze absolute search. *)

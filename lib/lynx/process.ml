@@ -78,6 +78,16 @@ let register_link t lid =
   List.iter (fun hook -> hook l) t.link_hooks;
   l
 
+(* An enclosure arriving in a message: an end that moved here gets a
+   fresh handle.  Every adoption must balance against an [ends_moved_out]
+   at some sender — link ends are conserved across moves. *)
+let adopt_enclosure t lid =
+  match Hashtbl.find_opt t.links lid with
+  | Some l -> l
+  | None ->
+    Stats.incr t.sts "lynx.ends_adopted";
+    register_link t lid
+
 (* ---- Death and termination ------------------------------------------- *)
 
 let reply_tbl t lid =
@@ -226,6 +236,8 @@ let send_message t (l : Link.t) ~kind ~corr ~op ?exn_msg (vs : Value.t list) =
   match result with
   | Ok () ->
     List.iter (fun (e : Link.t) -> e.Link.l_state <- Link.Moved) encls;
+    if encls <> [] then
+      Stats.incr t.sts ~by:(List.length encls) "lynx.ends_moved_out";
     Stats.incr t.sts "lynx.messages_delivered"
   | Error { Backend.se_exn; se_recovered } ->
     List.iter
@@ -274,12 +286,7 @@ let call t (l : Link.t) ~op ?expect vs =
   | None -> (
     let encl_links =
       Array.of_list
-        (List.map
-           (fun lid ->
-             match Hashtbl.find_opt t.links lid with
-             | Some l -> l
-             | None -> register_link t lid)
-           rx.Backend.rx_enclosures)
+        (List.map (fun lid -> adopt_enclosure t lid) rx.Backend.rx_enclosures)
     in
     let results =
       try Codec.decode rx.Backend.rx_payload ~enclosures:encl_links
@@ -299,12 +306,7 @@ let call t (l : Link.t) ~op ?expect vs =
 let make_incoming t (l : Link.t) (rx : Backend.rx) =
   let encl_links =
     Array.of_list
-      (List.map
-         (fun lid ->
-           match Hashtbl.find_opt t.links lid with
-           | Some l -> l
-           | None -> register_link t lid)
-         rx.Backend.rx_enclosures)
+      (List.map (fun lid -> adopt_enclosure t lid) rx.Backend.rx_enclosures)
   in
   let args =
     try Codec.decode rx.Backend.rx_payload ~enclosures:encl_links

@@ -7,9 +7,21 @@ type fiber = {
   mutable state : fiber_state;
 }
 
+type policy =
+  | Fifo
+  | Random_order of int
+  | Delay_jitter of { jitter_seed : int; bound : Time.t }
+
+let policy_name = function
+  | Fifo -> "fifo"
+  | Random_order seed -> Printf.sprintf "random:%d" seed
+  | Delay_jitter { jitter_seed; bound } ->
+    Printf.sprintf "jitter:%d:%dus" jitter_seed (Time.to_ns bound / 1_000)
+
 type t = {
   mutable now : Time.t;
   mutable seq : int;
+  mutable next_fid : int;
   tasks : (unit -> unit) Heap.t;
   mutable fibers : fiber list;
   mutable current : fiber option;
@@ -17,6 +29,8 @@ type t = {
   mutable crashes : (string * exn) list;
   on_crash : [ `Raise | `Record ];
   root_rng : Rng.t;
+  policy : policy;
+  sched_rng : Rng.t;
   trace_buf : Trace.t;
 }
 
@@ -26,10 +40,17 @@ type 'a waker = ('a, exn) result -> unit
 
 type _ Effect.t += Suspend_with : string * ((('a, exn) result -> unit) -> unit) -> 'a Effect.t
 
-let create ?(seed = 42) ?trace_capacity ?(on_crash = `Raise) () =
+let create ?(seed = 42) ?(policy = Fifo) ?trace_capacity ?(on_crash = `Raise) () =
+  let sched_seed =
+    match policy with
+    | Fifo -> 0
+    | Random_order s -> s
+    | Delay_jitter { jitter_seed; _ } -> jitter_seed
+  in
   {
     now = Time.zero;
     seq = 0;
+    next_fid = 0;
     tasks = Heap.create ();
     fibers = [];
     current = None;
@@ -37,18 +58,35 @@ let create ?(seed = 42) ?trace_capacity ?(on_crash = `Raise) () =
     crashes = [];
     on_crash;
     root_rng = Rng.create seed;
+    policy;
+    sched_rng = Rng.create sched_seed;
     trace_buf = Trace.create ?capacity:trace_capacity ();
   }
 
 let now t = t.now
 let rng t = t.root_rng
+let policy t = t.policy
 let trace t = t.trace_buf
 let record t msg = Trace.record t.trace_buf t.now msg
 
+(* Under [Fifo] same-time tasks run in schedule order.  [Random_order]
+   replaces the tie-breaking sequence number with a seeded random draw, so
+   same-time tasks — the ones that are causally concurrent — run in an
+   arbitrary but reproducible order.  [Delay_jitter] perturbs each task's
+   execution time by a bounded random amount instead, exploring timing
+   races across nearby (not just equal) timestamps. *)
 let enqueue t time task =
   let seq = t.seq in
   t.seq <- seq + 1;
-  Heap.add t.tasks ~time:(Time.to_ns time) ~seq task
+  match t.policy with
+  | Fifo -> Heap.add t.tasks ~time:(Time.to_ns time) ~seq task
+  | Random_order _ ->
+    Heap.add t.tasks ~time:(Time.to_ns time)
+      ~seq:(Rng.int t.sched_rng 0x3FFFFFFF)
+      task
+  | Delay_jitter { bound; _ } ->
+    let j = Rng.int t.sched_rng (Time.to_ns bound + 1) in
+    Heap.add t.tasks ~time:(Time.to_ns time + j) ~seq task
 
 let schedule_at t time task =
   if Time.(time < t.now) then
@@ -58,6 +96,7 @@ let schedule_at t time task =
 let schedule_after t delay task = enqueue t (Time.add t.now delay) task
 
 let fiber_name f = f.name
+let fiber_id f = f.fid
 let fiber_alive f = match f.state with Finished | Crashed -> false | _ -> true
 
 let current_fiber_name t =
@@ -66,7 +105,9 @@ let current_fiber_name t =
 let handle_crash t fiber exn =
   fiber.state <- Crashed;
   t.crashes <- (fiber.name, exn) :: t.crashes;
-  record t (Printf.sprintf "crash %s: %s" fiber.name (Printexc.to_string exn))
+  record t
+    (Printf.sprintf "crash #%d %s: %s" fiber.fid fiber.name
+       (Printexc.to_string exn))
 
 let effc : type b. t -> fiber -> b Effect.t -> ((b, unit) Effect.Deep.continuation -> unit) option =
  fun t fiber eff ->
@@ -93,9 +134,10 @@ let effc : type b. t -> fiber -> b Effect.t -> ((b, unit) Effect.Deep.continuati
   | _ -> None
 
 let spawn t ?(name = "fiber") ?(daemon = false) f =
-  let fid = t.seq in
+  let fid = t.next_fid in
+  t.next_fid <- fid + 1;
   let fiber = { fid; name; daemon; state = Runnable } in
-  ignore fid;
+  record t (Printf.sprintf "spawn #%d %s" fid name);
   t.fibers <- fiber :: t.fibers;
   enqueue t t.now (fun () ->
       let prev = t.current in
@@ -134,6 +176,53 @@ let blocked_fibers t =
     t.fibers
 
 let crashed t = List.rev t.crashes
+
+let fiber_state_name f =
+  match f.state with
+  | Runnable -> "runnable"
+  | Blocked reason -> "blocked:" ^ reason
+  | Finished -> "finished"
+  | Crashed -> "crashed"
+
+type fiber_info = {
+  fi_id : int;
+  fi_name : string;
+  fi_daemon : bool;
+  fi_state : string;
+}
+
+type view = {
+  v_now : Time.t;
+  v_pending : int;  (** tasks still queued *)
+  v_blocked : string list;  (** non-daemon fibers stuck at a suspension *)
+  v_fibers : fiber_info list;  (** every fiber ever spawned, by id *)
+  v_crashes : (string * string) list;
+  v_trace : (Time.t * string) list;  (** most recent trace window *)
+  v_trace_hash : int;
+  v_trace_count : int;
+}
+
+let view ?(trace_window = 64) t =
+  {
+    v_now = t.now;
+    v_pending = Heap.length t.tasks;
+    v_blocked = blocked_fibers t;
+    v_fibers =
+      List.rev_map
+        (fun f ->
+          {
+            fi_id = f.fid;
+            fi_name = f.name;
+            fi_daemon = f.daemon;
+            fi_state = fiber_state_name f;
+          })
+        t.fibers;
+    v_crashes =
+      List.rev_map (fun (n, e) -> (n, Printexc.to_string e)) t.crashes;
+    v_trace = Trace.recent t.trace_buf trace_window;
+    v_trace_hash = Trace.hash t.trace_buf;
+    v_trace_count = Trace.count t.trace_buf;
+  }
 
 let drain t ~limit =
   let continue = ref true in

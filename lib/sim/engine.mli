@@ -12,6 +12,18 @@ type t
 type fiber
 (** Handle to a spawned fiber. *)
 
+type policy =
+  | Fifo  (** same-time tasks run in schedule order (the default) *)
+  | Random_order of int
+      (** same-time tasks run in a seeded random order: explores the
+          interleavings of causally concurrent work *)
+  | Delay_jitter of { jitter_seed : int; bound : Time.t }
+      (** every task is delayed by a seeded random amount in
+          [\[0, bound\]]: explores timing races across nearby timestamps *)
+
+val policy_name : policy -> string
+(** Short printable form, e.g. ["fifo"], ["random:7"], ["jitter:7:20us"]. *)
+
 exception Deadlock of string
 (** Raised by {!run} when [expect_quiescent] is set and blocked
     non-daemon fibers remain after the event queue drains. *)
@@ -20,12 +32,22 @@ exception Fiber_crash of string * exn
 (** Raised by {!run} when a fiber terminated with an uncaught exception
     and the engine was created with [~on_crash:`Raise] (the default). *)
 
-val create : ?seed:int -> ?trace_capacity:int -> ?on_crash:[ `Raise | `Record ] -> unit -> t
+val create :
+  ?seed:int ->
+  ?policy:policy ->
+  ?trace_capacity:int ->
+  ?on_crash:[ `Raise | `Record ] ->
+  unit ->
+  t
 (** [create ()] makes an engine with virtual time 0.  [seed] (default 42)
-    initialises the root RNG. *)
+    initialises the root RNG.  [policy] (default {!Fifo}) selects the
+    scheduling policy; the scheduler draws from its own RNG, so the root
+    RNG stream — and therefore all model-level randomness — is identical
+    across policies. *)
 
 val now : t -> Time.t
 val rng : t -> Rng.t
+val policy : t -> policy
 val trace : t -> Trace.t
 
 val record : t -> string -> unit
@@ -42,9 +64,15 @@ val schedule_after : t -> Time.t -> (unit -> unit) -> unit
 val spawn : t -> ?name:string -> ?daemon:bool -> (unit -> unit) -> fiber
 (** Starts a fiber at the current virtual time.  [daemon] fibers (default
     false) are expected to outlive the simulation and are excluded from
-    quiescence accounting. *)
+    quiescence accounting.  Each spawn is assigned the next fiber id and
+    recorded in the trace as ["spawn #<id> <name>"]. *)
 
 val fiber_name : fiber -> string
+
+val fiber_id : fiber -> int
+(** Monotonically increasing per engine, starting at 0: two runs of the
+    same program with the same seed assign identical ids. *)
+
 val fiber_alive : fiber -> bool
 
 (** {1 Running} *)
@@ -66,6 +94,32 @@ val crashed : t -> (string * exn) list
 
 val blocked_fibers : t -> string list
 (** Names of non-daemon fibers currently suspended. *)
+
+(** {1 Diagnostics} *)
+
+type fiber_info = {
+  fi_id : int;
+  fi_name : string;
+  fi_daemon : bool;
+  fi_state : string;  (** "runnable", "blocked:<reason>", "finished", "crashed" *)
+}
+
+type view = {
+  v_now : Time.t;
+  v_pending : int;  (** tasks still queued *)
+  v_blocked : string list;  (** non-daemon fibers stuck at a suspension *)
+  v_fibers : fiber_info list;  (** every fiber ever spawned, by id *)
+  v_crashes : (string * string) list;
+  v_trace : (Time.t * string) list;  (** most recent trace window *)
+  v_trace_hash : int;
+  v_trace_count : int;
+}
+
+val view : ?trace_window:int -> t -> view
+(** Snapshot of the engine's observable state, taken after a run for
+    invariant checking ([trace_window] caps the events copied out,
+    default 64).  A plain record so checkers and test fixtures can build
+    synthetic views. *)
 
 (** {1 Fiber operations — callable only inside a fiber} *)
 

@@ -17,10 +17,19 @@ let split t =
   let child_seed = next_int64 t in
   { state = mix child_seed }
 
+(* Draws are 62-bit ([0, 2^62)); plain [r mod bound] would favour small
+   residues whenever bound does not divide 2^62, so draws past the last
+   full multiple of [bound] are rejected and retried.  [max_int] is
+   2^62 - 1, hence (max_int mod bound + 1) mod bound = 2^62 mod bound. *)
 let int t bound =
-  assert (bound > 0);
-  let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
-  r mod bound
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  let rem = ((max_int mod bound) + 1) mod bound in
+  let cutoff = max_int - rem in
+  let rec go () =
+    let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+    if r > cutoff then go () else r mod bound
+  in
+  go ()
 
 let float t =
   let r = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in

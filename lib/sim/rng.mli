@@ -14,7 +14,9 @@ val split : t -> t
 
 val next_int64 : t -> int64
 val int : t -> int -> int
-(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+(** [int t bound] is uniform in [\[0, bound)] — exactly uniform, via
+    rejection sampling, not merely modulo-reduced.  Raises
+    [Invalid_argument] unless [bound] is positive. *)
 
 val float : t -> float
 (** Uniform in [\[0, 1)]. *)

@@ -1,0 +1,326 @@
+(* Tier-1 exploration suite.
+
+   Small-N version of what `lynx_sim explore` does at scale: every
+   scenario x every backend x seeds 1-5 under both the deterministic
+   FIFO schedule and the seeded random schedule, with every invariant
+   checked on every run.  Plus: a deliberately broken outcome pushed
+   through the same assessment path to prove the checker actually
+   fires, and cross-backend differential checks that the three kernels
+   agree on language-level behaviour. *)
+
+open Sim
+module D = Explore.Driver
+module I = Explore.Invariant
+module S = Harness.Scenarios
+module BW = Harness.Backend_world
+
+let seeds = [ 1; 2; 3; 4; 5 ]
+
+(* ---- the sweep itself ---------------------------------------------- *)
+
+let test_sweep_green () =
+  let results = D.sweep ~seeds ~policies:[ D.Fifo; D.Random ] () in
+  (* 6 cross-backend scenarios x 3 backends + 2 SODA-only, x 5 seeds x 2
+     policies. *)
+  Alcotest.(check int) "run count" ((6 * 3 + 2) * 5 * 2) (List.length results);
+  List.iter
+    (fun sc ->
+      Alcotest.(check bool)
+        (Printf.sprintf "scenario %s covered" sc)
+        true
+        (List.exists (fun r -> r.D.r_case.D.c_scenario = sc) results))
+    D.scenario_names;
+  List.iter
+    (fun b ->
+      Alcotest.(check bool)
+        (Printf.sprintf "backend %s covered" b)
+        true
+        (List.exists (fun r -> r.D.r_case.D.c_backend = b) results))
+    D.backend_names;
+  match D.failures results with
+  | [] -> ()
+  | fails ->
+    List.iter (fun r -> print_string (D.repro r.D.r_case)) fails;
+    Alcotest.failf "%d of %d exploration runs failed (first: %s)"
+      (List.length fails) (List.length results)
+      (D.case_name (List.hd fails).D.r_case)
+
+let test_sweep_jitter_green () =
+  let results = D.sweep ~seeds:[ 1; 2 ] ~policies:[ D.Jitter ] () in
+  Alcotest.(check int) "run count" ((6 * 3 + 2) * 2) (List.length results);
+  Alcotest.(check int) "no failures under jitter" 0
+    (List.length (D.failures results))
+
+let test_case_determinism () =
+  let case =
+    { D.c_scenario = "move"; c_backend = "soda"; c_seed = 3; c_policy = D.Random }
+  in
+  match (D.run_case case, D.run_case case) with
+  | Some a, Some b ->
+    Alcotest.(check bool) "same verdict" a.D.r_ok b.D.r_ok;
+    Alcotest.(check int) "same duration"
+      (Time.to_ns a.D.r_duration)
+      (Time.to_ns b.D.r_duration);
+    Alcotest.(check string) "same detail" a.D.r_detail b.D.r_detail
+  | _ -> Alcotest.fail "move/soda should be runnable"
+
+let test_soda_only_skipped () =
+  let case =
+    {
+      D.c_scenario = "hint-repair";
+      c_backend = "charlotte";
+      c_seed = 1;
+      c_policy = D.Fifo;
+    }
+  in
+  Alcotest.(check bool) "hint-repair skipped off SODA" true
+    (D.run_case case = None)
+
+(* ---- broken fixture: the checker must actually catch violations ----- *)
+
+(* A hand-built outcome in which every invariant is violated at once:
+   messages duplicated, a link end duplicated, the trace running
+   backwards, a fiber still blocked and another left runnable. *)
+let broken_outcome =
+  let v =
+    {
+      Engine.v_now = Time.ms 5;
+      v_pending = 0;
+      v_blocked = [ "server" ];
+      v_fibers =
+        [
+          { Engine.fi_id = 0; fi_name = "server"; fi_daemon = false; fi_state = "blocked:receive" };
+          { Engine.fi_id = 1; fi_name = "client"; fi_daemon = false; fi_state = "runnable" };
+        ];
+      v_crashes = [];
+      v_trace = [ (Time.ms 3, "late"); (Time.ms 1, "early") ];
+      v_trace_hash = 0;
+      v_trace_count = 2;
+    }
+  in
+  {
+    S.o_ok = true;
+    (* the scenario itself claims success: only the invariants notice *)
+    o_duration = Time.ms 5;
+    o_counters =
+      [
+        ("lynx.messages_sent", 2);
+        ("lynx.messages_delivered", 3);
+        ("lynx.ends_moved_out", 1);
+        ("lynx.ends_adopted", 2);
+      ];
+    o_detail = "fixture";
+    o_seed = 3;
+    o_policy = "fifo";
+    o_view = v;
+  }
+
+let test_broken_fixture_caught () =
+  let case =
+    { D.c_scenario = "fixture"; c_backend = "soda"; c_seed = 3; c_policy = D.Fifo }
+  in
+  let r = D.assess case broken_outcome in
+  let found = List.map (fun v -> v.I.v_invariant) r.D.r_violations in
+  List.iter
+    (fun name ->
+      Alcotest.(check bool)
+        (Printf.sprintf "invariant %s fired" name)
+        true
+        (List.mem name found))
+    [ "no-deadlock"; "no-leaked-fibers"; "time-monotone"; "link-conservation"; "at-most-once" ];
+  (* the failure is reported together with the seed that reproduces it *)
+  Alcotest.(check int) "failing seed reported" 3 r.D.r_case.D.c_seed;
+  Alcotest.(check bool) "case name carries the seed" true
+    (let name = D.case_name r.D.r_case in
+     let re = Str.regexp_string "/3/" in
+     try ignore (Str.search_forward re name 0); true with Not_found -> false);
+  match D.failures [ r ] with
+  | [ f ] -> Alcotest.(check string) "failures keeps it" (D.case_name case) (D.case_name f.D.r_case)
+  | _ -> Alcotest.fail "broken fixture must be reported as a failure"
+
+let test_clean_outcome_passes () =
+  (* A genuine run through the same assessment path yields no violations. *)
+  let case =
+    { D.c_scenario = "cross-request"; c_backend = "chrysalis"; c_seed = 3; c_policy = D.Fifo }
+  in
+  match D.run_case case with
+  | None -> Alcotest.fail "cross-request runs on chrysalis"
+  | Some r ->
+    Alcotest.(check bool) "ok" true r.D.r_ok;
+    Alcotest.(check (list string)) "no violations" []
+      (List.map I.to_string r.D.r_violations)
+
+let test_repro_dump () =
+  let case =
+    { D.c_scenario = "bounced-enclosure"; c_backend = "charlotte"; c_seed = 2; c_policy = D.Random }
+  in
+  let dump = D.repro case in
+  let contains needle =
+    try
+      ignore (Str.search_forward (Str.regexp_string needle) dump 0);
+      true
+    with Not_found -> false
+  in
+  Alcotest.(check bool) "names the case" true (contains (D.case_name case));
+  Alcotest.(check bool) "has a trace tail" true (contains "trace tail");
+  Alcotest.(check bool) "states the verdict" true (contains "ok=true")
+
+(* ---- cross-backend differential checks ------------------------------ *)
+
+let cross_scenarios :
+    (string * (seed:int -> (module BW.WORLD) -> S.outcome)) list =
+  [
+    ("move", fun ~seed w -> S.simultaneous_move ~seed w);
+    ("enclosures", fun ~seed w -> S.enclosure_protocol ~seed ~n_encl:3 w);
+    ("cross-request", fun ~seed w -> S.cross_request ~seed w);
+    ("open-close", fun ~seed w -> S.open_close_race ~seed w);
+    ("lost-enclosure", fun ~seed w -> S.lost_enclosure ~seed w);
+    ("bounced-enclosure", fun ~seed w -> S.bounced_enclosure ~seed w);
+  ]
+
+let lynx_counters o =
+  List.filter
+    (fun (k, _) -> String.length k > 5 && String.sub k 0 5 = "lynx.")
+    o.S.o_counters
+
+(* Counters every backend must agree on, for every scenario: what the
+   language level asked for.  Delivery-side counters may legitimately
+   differ where the scenario is *about* backend loss semantics. *)
+let core_counters =
+  [
+    "lynx.calls";
+    "lynx.messages_sent";
+    "lynx.links_made";
+    "lynx.processes_finished";
+    "lynx.threads";
+  ]
+
+(* Scenarios whose entire lynx.* counter delta must be identical across
+   backends (no loss, no bounce: the kernels are indistinguishable at
+   the language level). *)
+let fully_deterministic = [ "move"; "enclosures"; "cross-request"; "open-close" ]
+
+let test_differential_verdicts () =
+  List.iter
+    (fun (name, run) ->
+      List.iter
+        (fun seed ->
+          let outs =
+            List.map
+              (fun (module W : BW.WORLD) ->
+                (W.name, run ~seed (module W : BW.WORLD)))
+              BW.all
+          in
+          let _, first = List.hd outs in
+          List.iter
+            (fun (b, o) ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s seed %d: %s verdict matches" name seed b)
+                first.S.o_ok o.S.o_ok)
+            outs)
+        [ 1; 4 ])
+    cross_scenarios
+
+let test_differential_core_counters () =
+  List.iter
+    (fun (name, run) ->
+      let outs =
+        List.map
+          (fun (module W : BW.WORLD) -> (W.name, run ~seed:2 (module W : BW.WORLD)))
+          BW.all
+      in
+      List.iter
+        (fun key ->
+          let vals = List.map (fun (b, o) -> (b, S.counter o key)) outs in
+          let _, first = List.hd vals in
+          List.iter
+            (fun (b, v) ->
+              Alcotest.(check int)
+                (Printf.sprintf "%s: %s on %s" name key b)
+                first v)
+            vals)
+        core_counters)
+    cross_scenarios
+
+let test_differential_full_counters () =
+  List.iter
+    (fun (name, run) ->
+      if List.mem name fully_deterministic then
+        let outs =
+          List.map
+            (fun (module W : BW.WORLD) ->
+              (W.name, run ~seed:5 (module W : BW.WORLD)))
+            BW.all
+        in
+        let _, first = List.hd outs in
+        let expect = lynx_counters first in
+        List.iter
+          (fun (b, o) ->
+            Alcotest.(check (list (pair string int)))
+              (Printf.sprintf "%s: full lynx counter delta on %s" name b)
+              expect (lynx_counters o))
+          outs)
+    cross_scenarios
+
+(* ---- policy metadata ------------------------------------------------ *)
+
+let test_policy_roundtrip () =
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (D.policy_kind_name p ^ " roundtrips")
+        true
+        (D.policy_kind_of_string (D.policy_kind_name p) = Some p))
+    D.all_policies;
+  Alcotest.(check bool) "unknown rejected" true
+    (D.policy_kind_of_string "bogus" = None)
+
+let test_outcome_records_policy () =
+  let o =
+    S.cross_request ~seed:9
+      ~policy:(D.engine_policy D.Random ~seed:9)
+      BW.charlotte
+  in
+  Alcotest.(check string) "policy recorded" "random:9" o.S.o_policy;
+  Alcotest.(check int) "seed recorded" 9 o.S.o_seed
+
+let () =
+  Alcotest.run "explore"
+    [
+      ( "sweep",
+        [
+          Alcotest.test_case "all scenarios x backends x seeds stay green" `Quick
+            test_sweep_green;
+          Alcotest.test_case "jitter policy stays green" `Quick
+            test_sweep_jitter_green;
+          Alcotest.test_case "a case replays identically" `Quick
+            test_case_determinism;
+          Alcotest.test_case "SODA-only scenarios skip other backends" `Quick
+            test_soda_only_skipped;
+        ] );
+      ( "invariants",
+        [
+          Alcotest.test_case "broken fixture trips every invariant" `Quick
+            test_broken_fixture_caught;
+          Alcotest.test_case "clean run passes the same path" `Quick
+            test_clean_outcome_passes;
+          Alcotest.test_case "repro dump is self-contained" `Quick
+            test_repro_dump;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "verdicts agree across backends" `Quick
+            test_differential_verdicts;
+          Alcotest.test_case "core counters agree across backends" `Quick
+            test_differential_core_counters;
+          Alcotest.test_case "loss-free scenarios agree on all counters" `Quick
+            test_differential_full_counters;
+        ] );
+      ( "policy",
+        [
+          Alcotest.test_case "policy names roundtrip" `Quick
+            test_policy_roundtrip;
+          Alcotest.test_case "outcome records seed and policy" `Quick
+            test_outcome_records_policy;
+        ] );
+    ]

@@ -103,6 +103,18 @@ let heap_property =
       let sorted = List.sort compare popped in
       popped = sorted)
 
+let rng_property =
+  QCheck.Test.make ~name:"Rng.int stays within any positive bound" ~count:500
+    QCheck.(pair small_int (int_range 1 1_000_000))
+    (fun (seed, bound) ->
+      let r = Rng.create seed in
+      let ok = ref true in
+      for _ = 1 to 50 do
+        let v = Rng.int r bound in
+        if v < 0 || v >= bound then ok := false
+      done;
+      !ok)
+
 (* ---- Rng ------------------------------------------------------------------ *)
 
 let rng_tests =
@@ -138,6 +150,87 @@ let rng_tests =
           if Rng.bool r 0.25 then incr hits
         done;
         checkb "rough" true (!hits > 2_000 && !hits < 3_000));
+    Alcotest.test_case "int near max_int is unbiased (rejection sampling)"
+      `Quick (fun () ->
+        (* With bound = 3 * 2^60 and 62-bit draws, plain modulo reduction
+           would hit the low quarter of the range with probability 1/2
+           instead of 1/3 — the bias the rejection loop removes. *)
+        let bound = (max_int / 4) * 3 in
+        let low_cut = bound / 3 in
+        let r = Rng.create 9 in
+        let n = 50_000 in
+        let low = ref 0 in
+        for _ = 1 to n do
+          let v = Rng.int r bound in
+          checkb "in range" true (v >= 0 && v < bound);
+          if v < low_cut then incr low
+        done;
+        let frac = float_of_int !low /. float_of_int n in
+        checkb
+          (Printf.sprintf "low-quarter fraction %.4f within [0.30,0.37]" frac)
+          true
+          (frac > 0.30 && frac < 0.37));
+    Alcotest.test_case "int small-bound uniformity" `Quick (fun () ->
+        let r = Rng.create 10 in
+        let buckets = Array.make 8 0 in
+        let n = 80_000 in
+        for _ = 1 to n do
+          let v = Rng.int r 8 in
+          buckets.(v) <- buckets.(v) + 1
+        done;
+        Array.iteri
+          (fun i c ->
+            (* Expected 10_000 per bucket; allow 5%. *)
+            checkb
+              (Printf.sprintf "bucket %d count %d within 5%%" i c)
+              true
+              (c > 9_500 && c < 10_500))
+          buckets);
+    Alcotest.test_case "int rejects non-positive bounds" `Quick (fun () ->
+        let r = Rng.create 11 in
+        checkb "zero" true
+          (match Rng.int r 0 with
+          | _ -> false
+          | exception Invalid_argument _ -> true);
+        checkb "negative" true
+          (match Rng.int r (-3) with
+          | _ -> false
+          | exception Invalid_argument _ -> true));
+    Alcotest.test_case "split streams are independent and uniform" `Quick
+      (fun () ->
+        let parent = Rng.create 12 in
+        let child = Rng.split parent in
+        (* Determinism: splitting an identically seeded parent again
+           yields the same child stream. *)
+        let parent' = Rng.create 12 in
+        let child' = Rng.split parent' in
+        for _ = 1 to 100 do
+          checkb "same child stream" true
+            (Rng.next_int64 child = Rng.next_int64 child')
+        done;
+        (* Independence: parent and child streams disagree and stay
+           individually uniform; their agreement rate on a coarse bucket
+           is near chance. *)
+        let n = 20_000 in
+        let agree = ref 0 in
+        let p_buckets = Array.make 4 0 and c_buckets = Array.make 4 0 in
+        for _ = 1 to n do
+          let pv = Rng.int parent 4 and cv = Rng.int child 4 in
+          p_buckets.(pv) <- p_buckets.(pv) + 1;
+          c_buckets.(cv) <- c_buckets.(cv) + 1;
+          if pv = cv then incr agree
+        done;
+        let agree_frac = float_of_int !agree /. float_of_int n in
+        checkb
+          (Printf.sprintf "agreement %.4f near 0.25" agree_frac)
+          true
+          (agree_frac > 0.22 && agree_frac < 0.28);
+        Array.iter
+          (fun c -> checkb "parent uniform" true (c > 4_600 && c < 5_400))
+          p_buckets;
+        Array.iter
+          (fun c -> checkb "child uniform" true (c > 4_600 && c < 5_400))
+          c_buckets);
     Alcotest.test_case "shuffle permutes" `Quick (fun () ->
         let r = Rng.create 8 in
         let arr = Array.init 20 Fun.id in
@@ -354,6 +447,112 @@ let engine_tests =
           Trace.hash (Engine.trace e)
         in
         checkb "differ" false (run_once 1 = run_once 2));
+    Alcotest.test_case "fiber ids are monotonic and exposed in the trace"
+      `Quick (fun () ->
+        let e = Engine.create () in
+        let child_id = ref (-1) in
+        let a =
+          Engine.spawn e ~name:"a" (fun () ->
+              let c = Engine.spawn e ~name:"c" (fun () -> ()) in
+              child_id := Engine.fiber_id c)
+        in
+        let b = Engine.spawn e ~name:"b" (fun () -> ()) in
+        Engine.run e;
+        checki "first" 0 (Engine.fiber_id a);
+        checki "second" 1 (Engine.fiber_id b);
+        checki "nested third" 2 !child_id;
+        let spawns =
+          List.filter
+            (fun (_, m) -> String.length m >= 5 && String.sub m 0 5 = "spawn")
+            (Trace.recent (Engine.trace e) 16)
+        in
+        check
+          Alcotest.(list string)
+          "trace records ids"
+          [ "spawn #0 a"; "spawn #1 b"; "spawn #2 c" ]
+          (List.map snd spawns));
+    Alcotest.test_case "fiber ids are stable across same-seed runs" `Quick
+      (fun () ->
+        let run_once () =
+          let e = Engine.create ~seed:13 () in
+          let ids = ref [] in
+          for i = 1 to 4 do
+            let f =
+              Engine.spawn e ~name:(Printf.sprintf "w%d" i) (fun () ->
+                  Engine.sleep e
+                    (Time.us (Rng.int (Engine.rng e) 100 + 1)))
+            in
+            ids := (Engine.fiber_name f, Engine.fiber_id f) :: !ids
+          done;
+          Engine.run e;
+          (List.rev !ids, Trace.hash (Engine.trace e))
+        in
+        let a = run_once () and b = run_once () in
+        checkb "identical id assignment" true (fst a = fst b);
+        checkb "identical traces" true (snd a = snd b));
+    Alcotest.test_case "random-order policy is deterministic per seed" `Quick
+      (fun () ->
+        let run_once policy =
+          let e = Engine.create ~policy () in
+          let order = ref [] in
+          for i = 1 to 6 do
+            Engine.schedule_at e Time.zero (fun () -> order := i :: !order)
+          done;
+          Engine.run e;
+          List.rev !order
+        in
+        let r1 = run_once (Engine.Random_order 3) in
+        let r2 = run_once (Engine.Random_order 3) in
+        checkb "reproducible" true (r1 = r2);
+        check
+          Alcotest.(list int)
+          "all tasks ran" [ 1; 2; 3; 4; 5; 6 ]
+          (List.sort compare r1);
+        checkb "some seed permutes the FIFO order" true
+          (List.exists
+             (fun s -> run_once (Engine.Random_order s) <> run_once Engine.Fifo)
+             [ 1; 2; 3; 4; 5 ]));
+    Alcotest.test_case "jitter policy delays by at most the bound" `Quick
+      (fun () ->
+        let bound = Time.us 50 in
+        let e =
+          Engine.create
+            ~policy:(Engine.Delay_jitter { jitter_seed = 4; bound })
+            ()
+        in
+        let ran_at = ref Time.zero in
+        Engine.schedule_at e (Time.ms 1) (fun () -> ran_at := Engine.now e);
+        Engine.run e;
+        checkb "not early" true Time.(!ran_at >= Time.ms 1);
+        checkb "within bound" true
+          Time.(!ran_at <= Time.add (Time.ms 1) bound));
+    Alcotest.test_case "policies leave the model RNG stream untouched" `Quick
+      (fun () ->
+        let stream policy =
+          let e = Engine.create ~seed:21 ~policy () in
+          List.init 20 (fun _ -> Rng.next_int64 (Engine.rng e))
+        in
+        checkb "same stream" true
+          (stream Engine.Fifo = stream (Engine.Random_order 99)));
+    Alcotest.test_case "view reports pending, blocked and fibers" `Quick
+      (fun () ->
+        let e = Engine.create () in
+        ignore
+          (Engine.spawn e ~name:"stuck" (fun () ->
+               ignore (Engine.suspend e ~reason:"forever" (fun _ -> ()))));
+        ignore (Engine.spawn e ~name:"done" (fun () -> ()));
+        Engine.run e;
+        let v = Engine.view e in
+        checki "no pending tasks" 0 v.Engine.v_pending;
+        checki "one blocked" 1 (List.length v.Engine.v_blocked);
+        checki "two fibers" 2 (List.length v.Engine.v_fibers);
+        match v.Engine.v_fibers with
+        | [ f0; f1 ] ->
+          checki "ids in order" 0 f0.Engine.fi_id;
+          checki "ids in order" 1 f1.Engine.fi_id;
+          check Alcotest.string "state" "blocked:forever" f0.Engine.fi_state;
+          check Alcotest.string "state" "finished" f1.Engine.fi_state
+        | _ -> Alcotest.fail "expected two fiber infos");
     Alcotest.test_case "blocked_fibers reports reason" `Quick (fun () ->
         let e = Engine.create () in
         ignore
@@ -600,9 +799,10 @@ let extra_tests =
                Engine.sleep e (Time.ms 1);
                Engine.record e "two"));
         Engine.run e;
-        checki "two events" 2 (Trace.count (Engine.trace e));
-        match Trace.recent (Engine.trace e) 2 with
-        | [ (_, "one"); (t2, "two") ] ->
+        (* Three events: the spawn record plus the two explicit ones. *)
+        checki "three events" 3 (Trace.count (Engine.trace e));
+        match Trace.recent (Engine.trace e) 3 with
+        | [ (_, "spawn #0 fiber"); (_, "one"); (t2, "two") ] ->
           checki "timestamped" (Time.to_ns (Time.ms 1)) (Time.to_ns t2)
         | _ -> Alcotest.fail "unexpected trace");
     Alcotest.test_case "fibers can spawn fibers" `Quick (fun () ->
@@ -646,7 +846,7 @@ let () =
     [
       ("time", time_tests);
       ("heap", heap_tests @ [ QCheck_alcotest.to_alcotest heap_property ]);
-      ("rng", rng_tests);
+      ("rng", rng_tests @ [ QCheck_alcotest.to_alcotest rng_property ]);
       ("trace", trace_tests);
       ("engine", engine_tests);
       ("sync", sync_tests);
