@@ -275,6 +275,103 @@ let explore_cmd =
           all invariants, and dump a deterministic repro for any failure.")
     Term.(const run $ seeds $ policies $ scenario_filter $ backend_filter)
 
+(* ---- lint: static protocol linter ---------------------------------------- *)
+
+let lint_cmd =
+  let scenario_filter =
+    let doc =
+      "Protocol to lint (a scenario name, or \"broken\" for the defective \
+       fixture); repeatable.  Default: every shipped scenario."
+    in
+    Arg.(value & opt_all string [] & info [ "scenario" ] ~docv:"NAME" ~doc)
+  in
+  let run names =
+    let targets =
+      match names with
+      | [] -> Analysis.Catalog.all
+      | names ->
+        List.map
+          (fun n ->
+            if n = "broken" then (n, Analysis.Catalog.broken)
+            else
+              match Analysis.Catalog.find n with
+              | Some p -> (n, p)
+              | None ->
+                Printf.eprintf "unknown protocol %S (have: %s, broken)\n" n
+                  (String.concat ", "
+                     (List.map fst Analysis.Catalog.all));
+                exit 2)
+          names
+    in
+    let total = ref 0 in
+    List.iter
+      (fun (name, p) ->
+        let findings = Analysis.Lint.check p in
+        total := !total + List.length findings;
+        if findings = [] then Printf.printf "%-20s clean\n" name
+        else begin
+          Printf.printf "%-20s %d finding(s)\n" name (List.length findings);
+          List.iter
+            (fun f -> Format.printf "  %a@." Analysis.Lint.pp_finding f)
+            findings
+        end)
+      targets;
+    if !total > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically lint scenario protocols: signature mismatches, \
+          unreachable entries, leaked link ends, wait cycles.")
+    Term.(const run $ scenario_filter)
+
+(* ---- races: happens-before race detector ---------------------------------- *)
+
+let races_cmd =
+  let scenario_filter =
+    let doc = "Restrict to one scenario; repeatable." in
+    Arg.(value & opt_all string [] & info [ "scenario" ] ~docv:"SCENARIO" ~doc)
+  in
+  let run (module W : Harness.Backend_world.WORLD) names seed =
+    let module D = Explore.Driver in
+    let names = if names = [] then D.scenario_names else names in
+    List.iter
+      (fun n ->
+        if not (List.mem n D.scenario_names) then begin
+          Printf.eprintf "unknown scenario %S (have: %s)\n" n
+            (String.concat ", " D.scenario_names);
+          exit 2
+        end)
+      names;
+    let total = ref 0 in
+    List.iter
+      (fun sc ->
+        let case =
+          { D.c_scenario = sc; c_backend = W.name; c_seed = seed;
+            c_policy = D.Fifo }
+        in
+        match D.run_case case with
+        | None -> Printf.printf "%-20s n/a on %s\n" sc W.name
+        | Some r ->
+          let races = r.D.r_races in
+          total := !total + List.length races;
+          if races = [] then Printf.printf "%-20s clean\n" sc
+          else begin
+            Printf.printf "%-20s %d race(s)\n" sc (List.length races);
+            List.iter
+              (fun f -> Format.printf "  %a@." Analysis.Races.pp_finding f)
+              races
+          end)
+      names;
+    if !total > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "races"
+       ~doc:
+         "Replay scenarios and run the happens-before race detector over the \
+          structured event stream.")
+    Term.(const run $ backend_arg $ scenario_filter $ seed_arg)
+
 (* ---- backends ------------------------------------------------------------ *)
 
 let backends_cmd =
@@ -294,4 +391,13 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "lynx_sim" ~version:"1.0.0" ~doc)
-          [ rpc_cmd; scenario_cmd; sweep_cmd; repair_cmd; explore_cmd; backends_cmd ]))
+          [
+            rpc_cmd;
+            scenario_cmd;
+            sweep_cmd;
+            repair_cmd;
+            explore_cmd;
+            lint_cmd;
+            races_cmd;
+            backends_cmd;
+          ]))

@@ -1,0 +1,358 @@
+open Protocol
+
+let ty = Lynx.Ty.signature
+
+(* Figure 1: A and D hold the two ends of one link and move them
+   simultaneously, A's to B and D's to C; B then calls C over the moved
+   link.  Endpoint names follow <holder>.<link>; a moved end keeps its
+   name (the end is the identity, the holder changes). *)
+let move =
+  {
+    p_name = "move";
+    p_links = [ ("A.ab", "B.ab"); ("D.dc", "C.dc"); ("A.ad", "D.ad") ];
+    p_items =
+      [
+        Entry
+          { thread = "B"; endpoint = "B.ab"; op = None; sg = None; mode = Await };
+        Entry
+          { thread = "C"; endpoint = "C.dc"; op = None; sg = None; mode = Await };
+        Entry
+          { thread = "C"; endpoint = "D.ad"; op = None; sg = None; mode = Await };
+        Call
+          {
+            thread = "A";
+            endpoint = "A.ab";
+            op = "take";
+            args = [ Lynx.Ty.Link ];
+            results = [];
+          };
+        Move { endpoint = "A.ad"; via = "A.ab" };
+        Call
+          {
+            thread = "D";
+            endpoint = "D.dc";
+            op = "take";
+            args = [ Lynx.Ty.Link ];
+            results = [];
+          };
+        Move { endpoint = "D.ad"; via = "D.dc" };
+        Call
+          {
+            thread = "B";
+            endpoint = "A.ad";
+            op = "ping";
+            args = [ Lynx.Ty.Str ];
+            results = [ Lynx.Ty.Str ];
+          };
+      ];
+  }
+
+(* Figure 2: one request moving [n] fresh link ends; the far ends stay
+   with the client on purpose (the scenario measures enclosure
+   transport, not link lifecycle). *)
+let enclosures =
+  let n = 3 in
+  let enc i =
+    ( Printf.sprintf "client.enc%d.near" i,
+      Printf.sprintf "client.enc%d.far" i )
+  in
+  {
+    p_name = "enclosures";
+    p_links = ("client.cs", "server.cs") :: List.init n (fun i -> enc (i + 1));
+    p_items =
+      Entry
+        {
+          thread = "server";
+          endpoint = "server.cs";
+          op = None;
+          sg = None;
+          mode = Await;
+        }
+      :: Call
+           {
+             thread = "client";
+             endpoint = "client.cs";
+             op = "take";
+             args = List.init n (fun _ -> Lynx.Ty.Link);
+             results = [];
+           }
+      :: List.concat
+           (List.init n (fun i ->
+                let near, far = enc (i + 1) in
+                [
+                  Move { endpoint = near; via = "client.cs" };
+                  Retain
+                    {
+                      endpoint = far;
+                      why = "far end kept; scenario measures transport only";
+                    };
+                ]));
+  }
+
+(* §3.2.1 first case: A calls "fwd" and, while awaiting the reply, must
+   field B's reverse "rev" request.  B's reverse call runs in its own
+   coroutine thread, so it does not gate B's reply. *)
+let cross_request =
+  {
+    p_name = "cross-request";
+    p_links = [ ("A.ab", "B.ab") ];
+    p_items =
+      [
+        Entry
+          { thread = "B"; endpoint = "B.ab"; op = None; sg = None; mode = Await };
+        Call
+          {
+            thread = "A";
+            endpoint = "A.ab";
+            op = "fwd";
+            args = [ Lynx.Ty.Str ];
+            results = [ Lynx.Ty.Str ];
+          };
+        Entry
+          { thread = "A"; endpoint = "A.ab"; op = None; sg = None; mode = Await };
+        Call
+          {
+            thread = "B.rev";
+            endpoint = "B.ab";
+            op = "rev";
+            args = [ Lynx.Ty.Str ];
+            results = [ Lynx.Ty.Str ];
+          };
+      ];
+  }
+
+(* §3.2.1 second case: A opens and closes its request queue before
+   serving for real; B pokes in the window.  The open/close dance is
+   timing, not topology — statically it is one served call. *)
+let open_close =
+  {
+    p_name = "open-close";
+    p_links = [ ("A.ab", "B.ab") ];
+    p_items =
+      [
+        Entry
+          { thread = "A"; endpoint = "A.ab"; op = None; sg = None; mode = Await };
+        Call
+          {
+            thread = "B";
+            endpoint = "B.ab";
+            op = "poke";
+            args = [];
+            results = [ Lynx.Ty.Str ];
+          };
+      ];
+  }
+
+(* §3.2.2: A's "unwanted" request (enclosing a fresh near end) is never
+   served — B only ever posts a reply receive and then dies.  The
+   unserved call is deliberate and invisible to the linter: there is no
+   call-without-entry rule (documented false negative, DESIGN §9). *)
+let lost_enclosure =
+  {
+    p_name = "lost-enclosure";
+    p_links = [ ("A.ab", "B.ab"); ("A.near", "A.far") ];
+    p_items =
+      [
+        Entry
+          {
+            thread = "A.watch";
+            endpoint = "A.far";
+            op = None;
+            sg = None;
+            mode = Await;
+          };
+        Entry
+          {
+            thread = "A.serve";
+            endpoint = "A.ab";
+            op = None;
+            sg = None;
+            mode = Await;
+          };
+        Call
+          {
+            thread = "A";
+            endpoint = "A.ab";
+            op = "unwanted";
+            args = [ Lynx.Ty.Link ];
+            results = [];
+          };
+        Move { endpoint = "A.near"; via = "A.ab" };
+        Call
+          { thread = "B.caller"; endpoint = "B.ab"; op = "slow"; args = []; results = [] };
+      ];
+  }
+
+(* Unwanted request carrying an enclosure: same topology as the lost
+   case, but B eventually serves, adopts the moved end and pings it. *)
+let bounced_enclosure =
+  {
+    p_name = "bounced-enclosure";
+    p_links = [ ("A.ab", "B.ab"); ("A.near", "A.far") ];
+    p_items =
+      [
+        Call
+          {
+            thread = "A";
+            endpoint = "A.ab";
+            op = "take";
+            args = [ Lynx.Ty.Link ];
+            results = [];
+          };
+        Move { endpoint = "A.near"; via = "A.ab" };
+        Entry
+          { thread = "A"; endpoint = "A.far"; op = None; sg = None; mode = Await };
+        Entry
+          { thread = "B"; endpoint = "B.ab"; op = None; sg = None; mode = Await };
+        Call
+          {
+            thread = "B";
+            endpoint = "A.near";
+            op = "ping";
+            args = [];
+            results = [ Lynx.Ty.Str ];
+          };
+        Call
+          {
+            thread = "B.busy";
+            endpoint = "B.ab";
+            op = "busywork";
+            args = [];
+            results = [];
+          };
+      ];
+  }
+
+(* SODA hint repair: A moves its end of the D-A link to B and dies; D
+   pings the moved end once its cached hint is doubly stale. *)
+let hint_repair =
+  {
+    p_name = "hint-repair";
+    p_links = [ ("D.da", "A.da"); ("A.ab", "B.ab") ];
+    p_items =
+      [
+        Entry
+          { thread = "B"; endpoint = "B.ab"; op = None; sg = None; mode = Await };
+        Entry
+          { thread = "B"; endpoint = "A.da"; op = None; sg = None; mode = Await };
+        Call
+          {
+            thread = "A";
+            endpoint = "A.ab";
+            op = "take";
+            args = [ Lynx.Ty.Link ];
+            results = [];
+          };
+        Move { endpoint = "A.da"; via = "A.ab" };
+        Call
+          {
+            thread = "D";
+            endpoint = "D.da";
+            op = "ping";
+            args = [];
+            results = [ Lynx.Ty.Str ];
+          };
+      ];
+  }
+
+(* SODA pair pressure: n concurrent calls over n links between one
+   process pair; the only scenario with bound [serve] signatures, so the
+   only one the SIG rules actually bite on. *)
+let pair_pressure =
+  let n = 6 in
+  let lk i = (Printf.sprintf "client.l%d" i, Printf.sprintf "server.l%d" i) in
+  {
+    p_name = "pair-pressure";
+    p_links = List.init n (fun i -> lk (i + 1));
+    p_items =
+      List.concat
+        (List.init n (fun i ->
+             let cl, sv = lk (i + 1) in
+             [
+               Entry
+                 {
+                   thread = "server";
+                   endpoint = sv;
+                   op = Some "hit";
+                   sg = Some (ty ~results:[ Lynx.Ty.Int ] []);
+                   mode = Handler;
+                 };
+               Call
+                 {
+                   thread = Printf.sprintf "client.%d" (i + 1);
+                   endpoint = cl;
+                   op = "hit";
+                   args = [];
+                   results = [ Lynx.Ty.Int ];
+                 };
+             ]));
+  }
+
+let all =
+  [
+    ("move", move);
+    ("enclosures", enclosures);
+    ("cross-request", cross_request);
+    ("open-close", open_close);
+    ("lost-enclosure", lost_enclosure);
+    ("bounced-enclosure", bounced_enclosure);
+    ("hint-repair", hint_repair);
+    ("pair-pressure", pair_pressure);
+  ]
+
+let find name = List.assoc_opt name all
+
+(* Three seeded defects: C calls "frob" with an int where S's handler
+   wants a str (SIG02); the leak0-leak1 link is never touched (LNK01,
+   both ends); T1 and T2 each call before reaching the entry that would
+   serve the other's call (DLK01). *)
+let broken =
+  {
+    p_name = "broken";
+    p_links =
+      [
+        ("C.cx", "S.cx");
+        ("P.leak0", "P.leak1");
+        ("T1.w1", "T2.w1");
+        ("T1.w2", "T2.w2");
+      ];
+    p_items =
+      [
+        Entry
+          {
+            thread = "S";
+            endpoint = "S.cx";
+            op = Some "frob";
+            sg = Some (ty ~results:[ Lynx.Ty.Str ] [ Lynx.Ty.Str ]);
+            mode = Handler;
+          };
+        Call
+          {
+            thread = "C";
+            endpoint = "C.cx";
+            op = "frob";
+            args = [ Lynx.Ty.Int ];
+            results = [ Lynx.Ty.Str ];
+          };
+        Call
+          { thread = "T1"; endpoint = "T1.w1"; op = "ping"; args = []; results = [] };
+        Entry
+          {
+            thread = "T1";
+            endpoint = "T1.w2";
+            op = Some "pong";
+            sg = None;
+            mode = Handler;
+          };
+        Call
+          { thread = "T2"; endpoint = "T2.w2"; op = "pong"; args = []; results = [] };
+        Entry
+          {
+            thread = "T2";
+            endpoint = "T2.w1";
+            op = Some "ping";
+            sg = None;
+            mode = Handler;
+          };
+      ];
+  }

@@ -1,0 +1,18 @@
+(** Protocol models for the shipped scenarios.
+
+    One {!Protocol.t} per entry of the explore registry, keyed by the
+    same names ([move], [enclosures], ...).  These are hand-written
+    declarative descriptions of what {!Harness.Scenarios} does
+    operationally; the linter runs over them without executing
+    anything.  [broken] is a deliberately defective fixture exercising
+    the linter's three main rule families. *)
+
+val all : (string * Protocol.t) list
+(** Shipped scenario protocols, in explore-registry order. *)
+
+val find : string -> Protocol.t option
+
+val broken : Protocol.t
+(** Fixture with three seeded defects: a signature argument-type
+    mismatch (SIG02), an untouched link (LNK01 on both ends) and a
+    two-thread call-before-serve wait cycle (DLK01). *)

@@ -1,0 +1,258 @@
+type finding = {
+  f_code : string;
+  f_protocol : string;
+  f_subject : string;
+  f_detail : string;
+}
+
+let pp_finding ppf f =
+  Fmt.pf ppf "%s %s: %s (%s)" f.f_code f.f_subject f.f_detail f.f_protocol
+
+let ty_name = Lynx.Ty.to_string
+
+(* Signatures of the entries on [ep] that can serve an invocation of
+   [op]. *)
+let serving_signatures p ep op =
+  List.filter_map
+    (fun it ->
+      match it with
+      | Protocol.Entry e when e.endpoint = ep && (e.op = None || e.op = Some op)
+        ->
+          Some e.sg
+      | _ -> None)
+    p.Protocol.p_items
+
+(* ---- SIG01..SIG04: calls vs the signatures of the entries that serve
+   them.  A position where exactly one side is [Link] is an enclosure
+   mismatch (SIG04) and shadows the plainer type rules. *)
+
+let check_types mk ~code_pos ~code_plain ~what expected actual acc =
+  let rec go i exp act acc =
+    match (exp, act) with
+    | [], [] -> acc
+    | e :: exp, a :: act when e = a -> go (i + 1) exp act acc
+    | e :: exp, a :: act ->
+        let link_pos = (e = Lynx.Ty.Link) <> (a = Lynx.Ty.Link) in
+        let code = if link_pos then "SIG04" else code_pos in
+        let f =
+          mk code
+            (Printf.sprintf "%s %d: entry expects %s, call has %s" what i
+               (ty_name e) (ty_name a))
+        in
+        go (i + 1) exp act (f :: acc)
+    | _ ->
+        mk code_plain
+          (Printf.sprintf "%s count: entry has %d, call has %d" what
+             (List.length expected) (List.length actual))
+        :: acc
+  in
+  go 0 expected actual acc
+
+let check_signatures p =
+  List.concat_map
+    (fun it ->
+      match it with
+      | Protocol.Call c ->
+          let peer = Protocol.peer p c.endpoint in
+          List.concat_map
+            (fun sg ->
+              match sg with
+              | None -> []
+              | Some sg ->
+                  let mk code detail =
+                    {
+                      f_code = code;
+                      f_protocol = p.Protocol.p_name;
+                      f_subject =
+                        Printf.sprintf "%s.%s on %s" c.thread c.op c.endpoint;
+                      f_detail = detail;
+                    }
+                  in
+                  []
+                  |> check_types mk ~code_pos:"SIG02" ~code_plain:"SIG01"
+                       ~what:"argument" sg.Lynx.Ty.sg_args c.args
+                  |> check_types mk ~code_pos:"SIG03" ~code_plain:"SIG03"
+                       ~what:"result" sg.Lynx.Ty.sg_results c.results
+                  |> List.rev)
+            (serving_signatures p peer c.op)
+      | _ -> [])
+    p.Protocol.p_items
+
+(* ---- ENT01: handler entries whose operation nothing ever invokes. *)
+
+let check_entries p =
+  List.filter_map
+    (fun it ->
+      match it with
+      | Protocol.Entry { thread; endpoint; op = Some op; mode = Handler; _ } ->
+          let peer = Protocol.peer p endpoint in
+          let invoked =
+            List.exists
+              (fun it ->
+                match it with
+                | Protocol.Call c -> c.endpoint = peer && c.op = op
+                | _ -> false)
+              p.Protocol.p_items
+          in
+          if invoked then None
+          else
+            Some
+              {
+                f_code = "ENT01";
+                f_protocol = p.Protocol.p_name;
+                f_subject = Printf.sprintf "%s.%s on %s" thread op endpoint;
+                f_detail =
+                  Printf.sprintf
+                    "handler entry is unreachable: no call on %s ever invokes \
+                     %S"
+                    peer op;
+              }
+      | _ -> None)
+    p.Protocol.p_items
+
+(* ---- LNK01: link ends no item ever touches. *)
+
+let check_leaks p =
+  let touched = Hashtbl.create 16 in
+  List.iter
+    (fun it ->
+      List.iter
+        (fun ep -> Hashtbl.replace touched ep ())
+        (Protocol.item_endpoints it))
+    p.Protocol.p_items;
+  List.filter_map
+    (fun ep ->
+      if Hashtbl.mem touched ep then None
+      else
+        Some
+          {
+            f_code = "LNK01";
+            f_protocol = p.Protocol.p_name;
+            f_subject = ep;
+            f_detail =
+              "link end is never used, moved, destroyed or retained: static \
+               leak";
+          })
+    (Protocol.endpoints p)
+
+(* ---- DLK01: cycles in the static wait-for graph.
+
+   A call blocks its thread until some entry on the peer end serves it.
+   If every entry that could serve call [c1] sits, in its own thread,
+   after some other call [c2], then [c1] cannot complete before [c2]
+   does: edge c1 -> c2.  A cycle in that relation is a deadlock under
+   every interleaving, so the rule has no scheduling-dependent false
+   positives; calls that no entry serves contribute no edges. *)
+
+let check_deadlocks p =
+  (* Identify every Entry/Call by (thread, position in program order). *)
+  let located =
+    List.concat_map
+      (fun th ->
+        List.mapi
+          (fun i it -> (th, i, it))
+          (Protocol.items_of_thread p th))
+      (Protocol.threads p)
+  in
+  let calls =
+    Array.of_list
+      (List.filter_map
+         (fun (th, i, it) ->
+           match it with
+           | Protocol.Call c -> Some (th, i, c.endpoint, c.op)
+           | _ -> None)
+         located)
+  in
+  let n = Array.length calls in
+  let servers_of endpoint op =
+    let peer = Protocol.peer p endpoint in
+    List.filter_map
+      (fun (th, i, it) ->
+        match it with
+        | Protocol.Entry e when e.endpoint = peer && (e.op = None || e.op = Some op)
+          ->
+            Some (th, i)
+        | _ -> None)
+      located
+  in
+  let edges = Array.make (max n 1) [] in
+  Array.iteri
+    (fun i (_, _, endpoint, op) ->
+      let servers = servers_of endpoint op in
+      if servers <> [] then
+        Array.iteri
+          (fun j (jth, jpos, _, _) ->
+            if i <> j then
+              let blocks_all =
+                List.for_all
+                  (fun (eth, epos) -> eth = jth && jpos < epos)
+                  servers
+              in
+              if blocks_all then edges.(i) <- j :: edges.(i))
+          calls)
+    calls;
+  (* Tarjan SCC; a component of size > 1 (or a self-loop) is a cycle. *)
+  let index = ref 0 in
+  let idx = Array.make (max n 1) (-1) in
+  let low = Array.make (max n 1) 0 in
+  let on_stack = Array.make (max n 1) false in
+  let stack = ref [] in
+  let sccs = ref [] in
+  let rec strong v =
+    idx.(v) <- !index;
+    low.(v) <- !index;
+    incr index;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    List.iter
+      (fun w ->
+        if idx.(w) < 0 then (
+          strong w;
+          low.(v) <- min low.(v) low.(w))
+        else if on_stack.(w) then low.(v) <- min low.(v) idx.(w))
+      edges.(v);
+    if low.(v) = idx.(v) then (
+      let rec pop acc =
+        match !stack with
+        | w :: rest ->
+            stack := rest;
+            on_stack.(w) <- false;
+            if w = v then w :: acc else pop (w :: acc)
+        | [] -> acc
+      in
+      sccs := pop [] :: !sccs)
+  in
+  for v = 0 to n - 1 do
+    if idx.(v) < 0 then strong v
+  done;
+  List.filter_map
+    (fun scc ->
+      let cyclic =
+        match scc with
+        | [ v ] -> List.mem v edges.(v)
+        | _ :: _ :: _ -> true
+        | [] -> false
+      in
+      if not cyclic then None
+      else
+        let names =
+          List.map
+            (fun v ->
+              let th, _, _, op = calls.(v) in
+              Printf.sprintf "%s.%s" th op)
+            (List.sort compare scc)
+        in
+        Some
+          {
+            f_code = "DLK01";
+            f_protocol = p.Protocol.p_name;
+            f_subject = String.concat " <-> " names;
+            f_detail =
+              "static wait-for cycle: each call can only be served after the \
+               other completes";
+          })
+    (List.rev !sccs)
+
+let check p =
+  Protocol.validate p;
+  check_signatures p @ check_entries p @ check_leaks p @ check_deadlocks p

@@ -1,0 +1,40 @@
+(** Static protocol linter.
+
+    Runs over a {!Protocol.t} graph without executing the scenario.
+    Diagnostic codes are stable (tests and CI match on them):
+
+    - [SIG01] — operation invoked with the wrong number of arguments
+      for the entry that serves it.
+    - [SIG02] — argument type differs from the entry's signature.
+    - [SIG03] — result arity or type differs from the entry's signature.
+    - [SIG04] — a link end is passed (or expected) where the other side
+      has a non-link type: an enclosure-position mismatch.  Reported in
+      preference to SIG02/SIG03 because moving a link end has resource
+      semantics, not just type semantics.
+    - [ENT01] — a [Handler] entry whose operation is never invoked by
+      any call on the peer endpoint: statically unreachable code.
+      [Await] entries are exempt (they accept any operation), so a
+      scenario that only ever uses [await_request] can hide dead
+      entries from this rule — a documented false negative.
+    - [LNK01] — a link end that no item ever touches: neither used for
+      communication, nor moved, destroyed, or explicitly retained.
+      A static resource leak; annotate deliberate keep-alives with
+      [Retain].
+    - [DLK01] — a cycle in the static wait-for graph: call [c1] waits
+      on call [c2] when every entry that could serve [c1] sits after
+      [c2] in its thread's program order, and following such edges
+      returns to [c1].  The classic two-thread shape is each side
+      calling before serving. *)
+
+type finding = {
+  f_code : string;
+  f_protocol : string;
+  f_subject : string;  (** endpoint / operation / thread the rule fired on *)
+  f_detail : string;
+}
+
+val check : Protocol.t -> finding list
+(** All findings for one protocol, in rule order (SIG*, ENT01, LNK01,
+    DLK01).  Empty list = clean. *)
+
+val pp_finding : Format.formatter -> finding -> unit

@@ -1,0 +1,83 @@
+type mode = Handler | Await
+
+type item =
+  | Entry of {
+      thread : string;
+      endpoint : string;
+      op : string option;
+      sg : Lynx.Ty.signature option;
+      mode : mode;
+    }
+  | Call of {
+      thread : string;
+      endpoint : string;
+      op : string;
+      args : Lynx.Ty.t list;
+      results : Lynx.Ty.t list;
+    }
+  | Move of { endpoint : string; via : string }
+  | Destroy of { endpoint : string }
+  | Retain of { endpoint : string; why : string }
+
+type t = {
+  p_name : string;
+  p_links : (string * string) list;
+  p_items : item list;
+}
+
+let peer t ep =
+  let hits =
+    List.filter_map
+      (fun (a, b) ->
+        if a = ep then Some b else if b = ep then Some a else None)
+      t.p_links
+  in
+  match hits with
+  | [ p ] -> p
+  | [] -> invalid_arg (Printf.sprintf "Protocol.peer: unknown endpoint %s" ep)
+  | _ ->
+      invalid_arg
+        (Printf.sprintf "Protocol.peer: endpoint %s on several links" ep)
+
+let endpoints t = List.concat_map (fun (a, b) -> [ a; b ]) t.p_links
+
+let item_thread = function
+  | Entry { thread; _ } | Call { thread; _ } -> Some thread
+  | Move _ | Destroy _ | Retain _ -> None
+
+let threads t =
+  List.fold_left
+    (fun acc it ->
+      match item_thread it with
+      | Some th when not (List.mem th acc) -> acc @ [ th ]
+      | _ -> acc)
+    [] t.p_items
+
+let items_of_thread t th =
+  List.filter (fun it -> item_thread it = Some th) t.p_items
+
+let item_endpoints = function
+  | Entry { endpoint; _ } | Call { endpoint; _ } -> [ endpoint ]
+  | Move { endpoint; via } -> [ endpoint; via ]
+  | Destroy { endpoint } | Retain { endpoint; _ } -> [ endpoint ]
+
+let validate t =
+  let eps = endpoints t in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun ep ->
+      if Hashtbl.mem seen ep then
+        invalid_arg
+          (Printf.sprintf "Protocol %s: endpoint %s declared twice" t.p_name ep)
+      else Hashtbl.add seen ep ())
+    eps;
+  List.iter
+    (fun it ->
+      List.iter
+        (fun ep ->
+          if not (Hashtbl.mem seen ep) then
+            invalid_arg
+              (Printf.sprintf "Protocol %s: item uses undeclared endpoint %s"
+                 t.p_name ep))
+        (item_endpoints it))
+    t.p_items

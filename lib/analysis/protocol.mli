@@ -1,0 +1,68 @@
+(** First-class communication topology of a scenario.
+
+    A protocol is a static, declarative description of what a scenario's
+    processes do with their links: which entries each thread declares
+    (and with what {!Lynx.Ty.signature}), which remote operations it
+    invokes, and where link ends are created, moved, destroyed or
+    deliberately retained.  {!Lint} runs over this graph without
+    executing anything — the complement of the dynamic checking LYNX
+    performs at receive time (paper §3: the two ends of a link are
+    compiled at disparate times, so the language can only check types at
+    run time; a protocol graph written down once gives the static view
+    back). *)
+
+type mode =
+  | Handler  (** a [serve]-style entry bound to one operation *)
+  | Await
+      (** an [await_request]-style accept point: takes whatever
+          operation arrives, so it cannot be statically unreachable *)
+
+type item =
+  | Entry of {
+      thread : string;
+      endpoint : string;
+      op : string option;  (** [None] matches any operation *)
+      sg : Lynx.Ty.signature option;
+      mode : mode;
+    }
+  | Call of {
+      thread : string;
+      endpoint : string;
+      op : string;
+      args : Lynx.Ty.t list;
+      results : Lynx.Ty.t list;
+    }
+  | Move of { endpoint : string; via : string }
+      (** [endpoint] is enclosed in a message sent on [via] *)
+  | Destroy of { endpoint : string }
+  | Retain of { endpoint : string; why : string }
+      (** the end is deliberately held open (e.g. the far end of a moved
+          link); suppresses the leak rule and documents the intent *)
+
+type t = {
+  p_name : string;
+  p_links : (string * string) list;
+      (** each link as its two endpoint names *)
+  p_items : item list;  (** program order within each thread *)
+}
+
+val peer : t -> string -> string
+(** The other end of an endpoint's link.  Raises [Invalid_argument] for
+    an endpoint that is not part of exactly one link. *)
+
+val endpoints : t -> string list
+(** All endpoint names, in link order. *)
+
+val threads : t -> string list
+(** Thread names in order of first appearance in [p_items]. *)
+
+val items_of_thread : t -> string -> item list
+(** [Entry]/[Call] items of one thread, in program order. *)
+
+val item_endpoints : item -> string list
+(** Endpoint names an item mentions. *)
+
+val validate : t -> unit
+(** Checks structural sanity: endpoints belong to exactly one link, and
+    every endpoint mentioned by an item is declared.  Raises
+    [Invalid_argument] otherwise. *)

@@ -1,0 +1,240 @@
+open Sim
+
+type finding = { r_rule : string; r_obj : string; r_detail : string }
+
+let pp_finding ppf f = Fmt.pf ppf "%s %s: %s" f.r_rule f.r_obj f.r_detail
+
+(* Per-object view of the stream, positions in arrival order. *)
+type slot = {
+  mutable sends : (int * int * string * Vclock.t) list;  (* pos, fiber, op, clock *)
+  mutable recvs : int list;  (* positions *)
+  mutable queued_sigs : (int * int * Vclock.t) list;  (* pos, fiber, clock *)
+  mutable seens : (int * Vclock.t) list;
+  mutable wakes : int list;  (* positions of woke=true signals *)
+  mutable waits : (int * int * Vclock.t) list;
+  mutable moves : (int * int * Vclock.t) list;
+}
+
+let fresh () =
+  {
+    sends = [];
+    recvs = [];
+    queued_sigs = [];
+    seens = [];
+    wakes = [];
+    waits = [];
+    moves = [];
+  }
+
+let index events =
+  let tbl = Hashtbl.create 64 in
+  let slot obj =
+    match Hashtbl.find_opt tbl obj with
+    | Some s -> s
+    | None ->
+        let s = fresh () in
+        Hashtbl.add tbl obj s;
+        s
+  in
+  List.iteri
+    (fun pos (ev : Event.t) ->
+      let fid = ev.Event.ev_fiber and clk = ev.Event.ev_clock in
+      match ev.Event.ev_kind with
+      | Event.Send { obj; op } ->
+          let s = slot obj in
+          s.sends <- (pos, fid, op, clk) :: s.sends
+      | Event.Receive { obj; _ } ->
+          let s = slot obj in
+          s.recvs <- pos :: s.recvs
+      | Event.Signal { obj; woke = false } ->
+          let s = slot obj in
+          s.queued_sigs <- (pos, fid, clk) :: s.queued_sigs
+      | Event.Signal { obj; woke = true } ->
+          let s = slot obj in
+          s.wakes <- pos :: s.wakes
+      | Event.Signal_seen { obj } ->
+          let s = slot obj in
+          s.seens <- (pos, clk) :: s.seens
+      | Event.Wait { obj } ->
+          let s = slot obj in
+          s.waits <- (pos, fid, clk) :: s.waits
+      | Event.Link_move { obj } ->
+          let s = slot obj in
+          s.moves <- (pos, fid, clk) :: s.moves
+      | Event.Spawn _ | Event.Crash _ | Event.Note _ | Event.Block _ -> ())
+    events;
+  (* Restore arrival order. *)
+  Hashtbl.iter
+    (fun _ s ->
+      s.sends <- List.rev s.sends;
+      s.recvs <- List.rev s.recvs;
+      s.queued_sigs <- List.rev s.queued_sigs;
+      s.seens <- List.rev s.seens;
+      s.wakes <- List.rev s.wakes;
+      s.waits <- List.rev s.waits;
+      s.moves <- List.rev s.moves)
+    tbl;
+  tbl
+
+let sorted_objs tbl =
+  List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) tbl [])
+
+(* R-MSG: concurrent sends into the same queue. *)
+let message_races tbl =
+  List.filter_map
+    (fun obj ->
+      let s = Hashtbl.find tbl obj in
+      let sends = Array.of_list s.sends in
+      let first = ref None in
+      let count = ref 0 in
+      Array.iteri
+        (fun i (_, fi, opi, ci) ->
+          for j = i + 1 to Array.length sends - 1 do
+            let _, fj, opj, cj = sends.(j) in
+            if Vclock.concurrent ci cj then begin
+              incr count;
+              if !first = None then first := Some (fi, opi, fj, opj)
+            end
+          done)
+        sends;
+      match !first with
+      | None -> None
+      | Some (fi, opi, fj, opj) ->
+          Some
+            {
+              r_rule = "R-MSG";
+              r_obj = obj;
+              r_detail =
+                Printf.sprintf
+                  "sends %S (fiber #%d) and %S (fiber #%d) are concurrent: \
+                   arrival order is a scheduler accident (%d pair%s)"
+                  opi fi opj fj !count
+                  (if !count = 1 then "" else "s");
+            })
+    (sorted_objs tbl)
+
+(* R-SIG: a lost-signal window.  Two shapes:
+
+   - Check-then-block miss (Chrysalis dual queues): a queued signal
+     that no later signal-seen consumed, while a waiter on the same
+     object is itself unserved (never popped by a woke=true handoff)
+     and has a clock concurrent with the signal.  Served waits are
+     excluded: a wait that a later enqueue handed a datum to lost
+     nothing, whatever its clock says.
+
+   - Latched-interrupt loss (SODA software interrupts, where consumers
+     never block): a queued signal that the FIFO drain skipped, with a
+     later signal-seen on the same object whose clock is concurrent —
+     the drain raced the latch and missed it. *)
+let signal_races tbl =
+  List.filter_map
+    (fun obj ->
+      let s = Hashtbl.find tbl obj in
+      (* FIFO-match queued signals against seens, and waits against
+         woke=true handoffs. *)
+      let unmatched_sigs =
+        List.filteri (fun i _ -> i >= List.length s.seens) s.queued_sigs
+      in
+      let unserved_waits =
+        List.filteri (fun i _ -> i >= List.length s.wakes) s.waits
+      in
+      let blocked_miss =
+        List.find_map
+          (fun (_, sfid, sclk) ->
+            List.find_map
+              (fun (_, wfid, wclk) ->
+                if Vclock.concurrent sclk wclk then Some (sfid, wfid) else None)
+              unserved_waits)
+          unmatched_sigs
+      in
+      let latched_miss =
+        if s.waits <> [] then None
+        else
+          List.find_map
+            (fun (spos, sfid, sclk) ->
+              List.find_map
+                (fun (npos, nclk) ->
+                  if npos > spos && Vclock.concurrent sclk nclk then Some sfid
+                  else None)
+                s.seens)
+            unmatched_sigs
+      in
+      match (blocked_miss, latched_miss) with
+      | Some (sfid, wfid), _ ->
+          Some
+            {
+              r_rule = "R-SIG";
+              r_obj = obj;
+              r_detail =
+                Printf.sprintf
+                  "signal queued by fiber #%d was never consumed while fiber \
+                   #%d blocked concurrently and was never woken: lost-signal \
+                   window"
+                  sfid wfid;
+            }
+      | None, Some sfid ->
+          Some
+            {
+              r_rule = "R-SIG";
+              r_obj = obj;
+              r_detail =
+                Printf.sprintf
+                  "signal latched by fiber #%d was skipped by a concurrent \
+                   drain and never seen: lost interrupt"
+                  sfid;
+            }
+      | None, None -> None)
+    (sorted_objs tbl)
+
+(* R-MOVE: a send into one of a moved end's queues, concurrent with the
+   move and never consumed by a receive on that queue. *)
+let move_races tbl =
+  let objs = sorted_objs tbl in
+  List.filter_map
+    (fun mobj ->
+      let ms = Hashtbl.find tbl mobj in
+      if ms.moves = [] then None
+      else
+        let prefix = mobj ^ "." in
+        let is_queue_of o =
+          String.length o > String.length prefix
+          && String.sub o 0 (String.length prefix) = prefix
+        in
+        let hit =
+          List.find_map
+            (fun qobj ->
+              if not (is_queue_of qobj) then None
+              else
+                let qs = Hashtbl.find tbl qobj in
+                let n_recvs = List.length qs.recvs in
+                List.find_map
+                  (fun (i, (_, sfid, op, sclk)) ->
+                    if i < n_recvs then None  (* consumed: delivery won *)
+                    else
+                      List.find_map
+                        (fun (_, mfid, mclk) ->
+                          if Vclock.concurrent sclk mclk then
+                            Some (qobj, op, sfid, mfid)
+                          else None)
+                        ms.moves)
+                  (List.mapi (fun i x -> (i, x)) qs.sends))
+            objs
+        in
+        match hit with
+        | None -> None
+        | Some (qobj, op, sfid, mfid) ->
+            Some
+              {
+                r_rule = "R-MOVE";
+                r_obj = mobj;
+                r_detail =
+                  Printf.sprintf
+                    "link-end transfer (fiber #%d) races in-flight %S from \
+                     fiber #%d on %s: the message was never received"
+                    mfid op sfid qobj;
+              })
+    objs
+
+let analyze events =
+  let tbl = index events in
+  message_races tbl @ signal_races tbl @ move_races tbl

@@ -274,26 +274,40 @@ let make_dualq t _pid ~capacity =
     };
   name
 
+let dq_obj qname = Printf.sprintf "chry.dq%d" qname
+
 let dq_enqueue t pid qname datum =
   charge t t.cst.Costs.dq_op;
   Stats.incr t.sts "chrysalis.dq_enqueues";
   let q = dualq t qname in
   match Queue.take_opt q.dq_waiting with
   | Some ev_name ->
+    Engine.emit t.eng (Event.Signal { obj = dq_obj qname; woke = true });
     (* The queue holds event names: enqueue actually posts. *)
     event_post t pid ev_name datum
   | None ->
     if Queue.length q.dq_data >= q.dq_capacity then
       raise (Memory_fault Bounds)
-    else Queue.add datum q.dq_data
+    else begin
+      (* No consumer was parked: the datum sits in the queue — a hint
+         that is either noticed by a later dequeue (Signal_seen) or
+         lost. *)
+      Engine.emit t.eng (Event.Signal { obj = dq_obj qname; woke = false });
+      Queue.add datum q.dq_data
+    end
 
 let dq_dequeue t _pid qname ~ev =
   charge t t.cst.Costs.dq_op;
   Stats.incr t.sts "chrysalis.dq_dequeues";
   let q = dualq t qname in
   match Queue.take_opt q.dq_data with
-  | Some datum -> Some datum
+  | Some datum ->
+    Engine.emit t.eng (Event.Signal_seen { obj = dq_obj qname });
+    Some datum
   | None ->
+    (* Committing to wait: the check-then-block point of the lost-signal
+       window §5.2 worries about. *)
+    Engine.emit t.eng (Event.Wait { obj = dq_obj qname });
     Queue.add ev q.dq_waiting;
     None
 

@@ -39,6 +39,7 @@ type result = {
   r_case : case;
   r_ok : bool;
   r_violations : Invariant.violation list;
+  r_races : Analysis.Races.finding list;
   r_detail : string;
   r_duration : Time.t;
 }
@@ -95,6 +96,7 @@ let assess case (o : S.outcome) =
     r_case = case;
     r_ok = o.S.o_ok;
     r_violations = Invariant.check o;
+    r_races = Analysis.Races.analyze o.S.o_view.Engine.v_events;
     r_detail = o.S.o_detail;
     r_duration = o.S.o_duration;
   }
@@ -117,7 +119,7 @@ let sweep ?(scenarios = scenario_names) ?(backends = backend_names)
         backends)
     scenarios
 
-let failed r = (not r.r_ok) || r.r_violations <> []
+let failed r = (not r.r_ok) || r.r_violations <> [] || r.r_races <> []
 let failures results = List.filter failed results
 
 let repro case =
@@ -129,13 +131,18 @@ let repro case =
   | Some o ->
     let v = o.S.o_view in
     pr "  ok=%b  detail: %s\n" o.S.o_ok o.S.o_detail;
-    pr "  duration %s, clock %s, %d trace events (hash %d)\n"
+    pr "  duration %s, clock %s, %d trace events (hash %016Lx)\n"
       (Time.to_string o.S.o_duration)
       (Time.to_string v.Engine.v_now)
       v.Engine.v_trace_count v.Engine.v_trace_hash;
     List.iter
       (fun viol -> pr "  VIOLATION %s\n" (Invariant.to_string viol))
       (Invariant.check o);
+    List.iter
+      (fun (f : Analysis.Races.finding) ->
+        pr "  RACE %s %s: %s\n" f.Analysis.Races.r_rule f.Analysis.Races.r_obj
+          f.Analysis.Races.r_detail)
+      (Analysis.Races.analyze v.Engine.v_events);
     let unfinished =
       List.filter
         (fun f -> f.Engine.fi_state <> "finished")

@@ -31,6 +31,8 @@ type result = {
   r_case : case;
   r_ok : bool;  (** the scenario's own success verdict *)
   r_violations : Invariant.violation list;
+  r_races : Analysis.Races.finding list;
+      (** happens-before race findings over the run's event stream *)
   r_detail : string;
   r_duration : Sim.Time.t;
 }
@@ -65,8 +67,8 @@ val sweep :
     [Fifo] and [Random]), minus inapplicable combinations. *)
 
 val failures : result list -> result list
-(** Results that violated an invariant or missed the scenario's expected
-    final state — the minimal failing cases to rerun. *)
+(** Results that violated an invariant, raced, or missed the scenario's
+    expected final state — the minimal failing cases to rerun. *)
 
 val repro : case -> string
 (** Re-runs the failing case with tracing and dumps scenario verdict,

@@ -84,7 +84,20 @@ type t = {
 }
 
 let kind_index = function Lynx.Backend.Request -> 0 | Lynx.Backend.Reply -> 1
+let kind_label = function Lynx.Backend.Request -> "req" | Lynx.Backend.Reply -> "rep"
 let ring t = Sync.Mailbox.put t.doorbell ()
+
+(* Structured-event object names.  The receive queue of end (L, s) for a
+   message kind is "cha.L<id>.s<s>.<kind>"; both parties can compute it
+   (the sender targets the far side of its own end), so Send and Receive
+   events for one message meet on the same key, and a per-message stamp
+   keyed by the sender's frame seq carries the sender's clock across the
+   passive queue to the consumer. *)
+let queue_obj (e : CT.link_end) ~side kind =
+  Printf.sprintf "cha.L%d.s%d.%s" e.CT.link_id side (kind_label kind)
+
+let end_obj (e : CT.link_end) =
+  Printf.sprintf "cha.L%d.s%d" e.CT.link_id e.CT.side
 
 let fresh_handle t =
   let h = t.next_handle in
@@ -350,6 +363,10 @@ let rec ensure_recv t (c : chan) =
 
 let finalize_incoming t (c : chan) kind (d : Packet.data_header)
     (ends : CT.link_end list) =
+  let eng = K.engine t.kernel in
+  let dest = queue_obj c.ce ~side:c.ce.CT.side kind in
+  Engine.adopt eng (Printf.sprintf "%s#%d" dest d.Packet.d_seq);
+  Engine.emit eng (Event.Receive { obj = dest; op = d.Packet.d_op });
   let handles = List.map (fun e -> (register t e).h) ends in
   let rx =
     {
@@ -581,6 +598,16 @@ let send t ~link ~kind ~corr ~op ~exn_msg ~payload ~enclosures ~completion =
     in
     if not c.live then fail_frame t c fr
     else begin
+      let eng = K.engine t.kernel in
+      let dest = queue_obj c.ce ~side:(1 - c.ce.CT.side) kind in
+      Engine.emit eng (Event.Send { obj = dest; op });
+      Engine.stamp eng (Printf.sprintf "%s#%d" dest fr.fr_seq);
+      List.iter
+        (fun h ->
+          match Hashtbl.find_opt t.chans h with
+          | Some ec -> Engine.emit eng (Event.Link_move { obj = end_obj ec.ce })
+          | None -> ())
+        enclosures;
       Hashtbl.replace c.frames fr.fr_seq fr;
       (* Bound the bounce-lookup table. *)
       if Hashtbl.length c.frames > 128 then begin

@@ -66,6 +66,14 @@ let fresh_handle t =
 
 let ring t = Sync.Mailbox.put t.doorbell ()
 
+(* Structured-event object names.  A message slot of the shared link
+   object is "chry.o<obj>.slot<n>" (the slot index encodes sender side
+   and kind, so it names one direction's queue); the per-message stamp
+   adds the correlation id so queued frames do not overwrite each
+   other's clocks while a slot is busy. *)
+let slot_queue_obj obj slot = Printf.sprintf "chry.o%d.slot%d" obj slot
+let slot_stamp_key obj slot corr = Printf.sprintf "chry.o%d.slot%d#%d" obj slot corr
+
 (* ---- Flag helpers ------------------------------------------------------ *)
 
 let read_flags t (c : chan) = K.read16 t.kernel t.pid c.obj ~off:Layout.flags_off
@@ -196,6 +204,19 @@ let send t ~link ~kind ~corr ~op ~exn_msg ~payload ~enclosures ~completion =
     in
     if not c.live then fail_frame fr Lynx.Excn.Link_destroyed
     else begin
+      let eng = K.engine t.kernel in
+      let slot = Layout.slot ~side:c.side ~kind in
+      Engine.emit eng (Event.Send { obj = slot_queue_obj c.obj slot; op });
+      Engine.stamp eng (slot_stamp_key c.obj slot corr);
+      List.iter
+        (fun h ->
+          match Hashtbl.find_opt t.chans h with
+          | Some ec ->
+            Engine.emit eng
+              (Event.Link_move
+                 { obj = Printf.sprintf "chry.end.o%d.s%d" ec.obj ec.side })
+          | None -> ())
+        enclosures;
       let ki = kind_index kind in
       if c.inflight.(ki) = None then transmit t c fr
       else Queue.add fr c.out_q.(ki)
@@ -268,6 +289,10 @@ let take t ~link ~kind =
             ~len:n
         in
         let d = Layout.decode_slot raw in
+        let eng = K.engine t.kernel in
+        Engine.adopt eng (slot_stamp_key c.obj slot d.Layout.d_corr);
+        Engine.emit eng
+          (Event.Receive { obj = slot_queue_obj c.obj slot; op = d.Layout.d_op });
         c.in_present.(ki) <- false;
         clear_flag t c bit;
         notify_peer t c (Layout.notice_msg ~obj:c.obj ~slot);

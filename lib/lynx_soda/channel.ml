@@ -75,8 +75,17 @@ type t = {
 
 let kind_index = function Lynx.Backend.Request -> 0 | Lynx.Backend.Reply -> 1
 let kind_of_index = function 0 -> Lynx.Backend.Request | _ -> Lynx.Backend.Reply
+let kind_label = function Lynx.Backend.Request -> "req" | Lynx.Backend.Reply -> "rep"
 let ring t = Sync.Mailbox.put t.doorbell ()
 let engine t = S.engine t.kernel
+
+(* Structured-event object names.  A SODA end's receive queue is named
+   after the end's kernel-global name, which both parties know (the
+   sender holds it as [far_name]); the per-message stamp rides the
+   kernel-global request id, re-stamped on every retry so redirects keep
+   the sender's clock attached. *)
+let queue_obj name kind = Printf.sprintf "soda.n%d.%s" name (kind_label kind)
+let req_key req = Printf.sprintf "soda.req%d" req
 
 let fresh_handle t =
   let h = t.next_handle in
@@ -183,6 +192,7 @@ let rec post_msg t (m : out_msg) =
       with
       | Ok req ->
         Stats.incr t.sts "lynx_soda.data_puts";
+        Engine.stamp (engine t) (req_key req);
         Hashtbl.replace t.out_by_req req (O_msg m)
       | Error `Pair_limit ->
         (* Too many outstanding requests to this destination (§4.2.1);
@@ -549,6 +559,12 @@ let send t ~link ~kind ~corr ~op ~exn_msg ~payload ~enclosures ~completion =
         o_done = false;
       }
     in
+    Engine.emit (engine t) (Event.Send { obj = queue_obj c.far_name kind; op });
+    List.iter
+      (fun (e : Wire.encl) ->
+        Engine.emit (engine t)
+          (Event.Link_move { obj = Printf.sprintf "soda.n%d" e.Wire.e_my_name }))
+      encl_desc;
     post_msg t m
 
 let set_interest t ~link ~requests ~replies =
@@ -599,6 +615,10 @@ let take t ~link ~kind =
           Stats.incr t.sts "lynx_soda.malformed";
           None
         | body ->
+          Engine.adopt (engine t) (req_key p.p_req);
+          Engine.emit (engine t)
+            (Event.Receive
+               { obj = queue_obj c.my_name kind; op = body.Wire.b_op });
           let handles =
             List.map
               (fun (e : Wire.encl) ->

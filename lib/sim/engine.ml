@@ -5,6 +5,7 @@ type fiber = {
   name : string;
   daemon : bool;
   mutable state : fiber_state;
+  mutable clock : Vclock.t;
 }
 
 type policy =
@@ -32,6 +33,17 @@ type t = {
   policy : policy;
   sched_rng : Rng.t;
   trace_buf : Trace.t;
+  (* Causality state.  [amb_clock] is the clock of the task currently
+     running in scheduler context; every queued task captures the clock
+     of whoever enqueued it and restores it here when it runs, so
+     causality flows through timed hops and wakers without the sync
+     primitives knowing about clocks at all. *)
+  mutable amb_clock : Vclock.t;
+  mutable events : Event.t list;  (* newest first *)
+  mutable n_events : int;
+  event_cap : int;
+  mutable events_dropped : int;
+  stamps : (string, Vclock.t) Hashtbl.t;
 }
 
 exception Deadlock of string
@@ -40,7 +52,8 @@ type 'a waker = ('a, exn) result -> unit
 
 type _ Effect.t += Suspend_with : string * ((('a, exn) result -> unit) -> unit) -> 'a Effect.t
 
-let create ?(seed = 42) ?(policy = Fifo) ?trace_capacity ?(on_crash = `Raise) () =
+let create ?(seed = 42) ?(policy = Fifo) ?trace_capacity
+    ?(event_capacity = 200_000) ?(on_crash = `Raise) () =
   let sched_seed =
     match policy with
     | Fifo -> 0
@@ -61,13 +74,60 @@ let create ?(seed = 42) ?(policy = Fifo) ?trace_capacity ?(on_crash = `Raise) ()
     policy;
     sched_rng = Rng.create sched_seed;
     trace_buf = Trace.create ?capacity:trace_capacity ();
+    amb_clock = Vclock.empty;
+    events = [];
+    n_events = 0;
+    event_cap = event_capacity;
+    events_dropped = 0;
+    stamps = Hashtbl.create 64;
   }
 
 let now t = t.now
 let rng t = t.root_rng
 let policy t = t.policy
 let trace t = t.trace_buf
-let record t msg = Trace.record t.trace_buf t.now msg
+
+(* The clock of "whoever is acting right now": the running fiber's, or
+   the ambient clock restored by the task wrapper in scheduler context. *)
+let current_clock t =
+  match t.current with Some f -> f.clock | None -> t.amb_clock
+
+(* Events emitted by a fiber tick its component so successive events are
+   strictly ordered.  Scheduler-context events only snapshot the ambient
+   clock: ticking a shared pseudo-component would fabricate causality
+   between unrelated kernel tasks. *)
+let emit t kind =
+  let clock, fid =
+    match t.current with
+    | Some f ->
+      f.clock <- Vclock.tick f.clock f.fid;
+      (f.clock, f.fid)
+    | None -> (t.amb_clock, -1)
+  in
+  let ev = { Event.ev_time = t.now; ev_fiber = fid; ev_clock = clock; ev_kind = kind } in
+  if t.n_events < t.event_cap then begin
+    t.events <- ev :: t.events;
+    t.n_events <- t.n_events + 1
+  end
+  else t.events_dropped <- t.events_dropped + 1;
+  match Event.legacy_render ev with
+  | Some msg -> Trace.record t.trace_buf t.now msg
+  | None -> ()
+
+let record t msg = emit t (Event.Note msg)
+let events t = List.rev t.events
+let events_dropped t = t.events_dropped
+
+let stamp t key = Hashtbl.replace t.stamps key (current_clock t)
+
+let adopt t key =
+  match Hashtbl.find_opt t.stamps key with
+  | None -> ()
+  | Some c -> (
+    Hashtbl.remove t.stamps key;
+    match t.current with
+    | Some f -> f.clock <- Vclock.merge f.clock c
+    | None -> t.amb_clock <- Vclock.merge t.amb_clock c)
 
 (* Under [Fifo] same-time tasks run in schedule order.  [Random_order]
    replaces the tie-breaking sequence number with a seeded random draw, so
@@ -76,6 +136,13 @@ let record t msg = Trace.record t.trace_buf t.now msg
    execution time by a bounded random amount instead, exploring timing
    races across nearby (not just equal) timestamps. *)
 let enqueue t time task =
+  (* Capture the enqueuer's clock; the task restores it as the ambient
+     clock when it runs, carrying causality across the timed hop. *)
+  let clk = current_clock t in
+  let task () =
+    t.amb_clock <- clk;
+    task ()
+  in
   let seq = t.seq in
   t.seq <- seq + 1;
   match t.policy with
@@ -105,9 +172,9 @@ let current_fiber_name t =
 let handle_crash t fiber exn =
   fiber.state <- Crashed;
   t.crashes <- (fiber.name, exn) :: t.crashes;
-  record t
-    (Printf.sprintf "crash #%d %s: %s" fiber.fid fiber.name
-       (Printexc.to_string exn))
+  emit t
+    (Event.Crash
+       { fid = fiber.fid; name = fiber.name; error = Printexc.to_string exn })
 
 let effc : type b. t -> fiber -> b Effect.t -> ((b, unit) Effect.Deep.continuation -> unit) option =
  fun t fiber eff ->
@@ -116,6 +183,7 @@ let effc : type b. t -> fiber -> b Effect.t -> ((b, unit) Effect.Deep.continuati
     Some
       (fun (k : (b, unit) Effect.Deep.continuation) ->
         fiber.state <- Blocked reason;
+        emit t (Event.Block { reason });
         let fired = ref false in
         let waker (r : (b, exn) result) =
           if not !fired then begin
@@ -124,6 +192,9 @@ let effc : type b. t -> fiber -> b Effect.t -> ((b, unit) Effect.Deep.continuati
                 let prev = t.current in
                 t.current <- Some fiber;
                 fiber.state <- Runnable;
+                (* The waker's cause happens before everything the fiber
+                   does from here on. *)
+                fiber.clock <- Vclock.merge fiber.clock t.amb_clock;
                 (match r with
                 | Ok v -> Effect.Deep.continue k v
                 | Error e -> Effect.Deep.discontinue k e);
@@ -136,8 +207,12 @@ let effc : type b. t -> fiber -> b Effect.t -> ((b, unit) Effect.Deep.continuati
 let spawn t ?(name = "fiber") ?(daemon = false) f =
   let fid = t.next_fid in
   t.next_fid <- fid + 1;
-  let fiber = { fid; name; daemon; state = Runnable } in
-  record t (Printf.sprintf "spawn #%d %s" fid name);
+  emit t (Event.Spawn { fid; name });
+  (* The child starts causally after the spawn event in its parent. *)
+  let fiber =
+    { fid; name; daemon; state = Runnable;
+      clock = Vclock.tick (current_clock t) fid }
+  in
   t.fibers <- fiber :: t.fibers;
   enqueue t t.now (fun () ->
       let prev = t.current in
@@ -198,8 +273,10 @@ type view = {
   v_fibers : fiber_info list;  (** every fiber ever spawned, by id *)
   v_crashes : (string * string) list;
   v_trace : (Time.t * string) list;  (** most recent trace window *)
-  v_trace_hash : int;
+  v_trace_hash : int64;
   v_trace_count : int;
+  v_events : Event.t list;  (** structured event log, oldest first *)
+  v_events_dropped : int;  (** events lost to the capacity cap *)
 }
 
 let view ?(trace_window = 64) t =
@@ -222,6 +299,8 @@ let view ?(trace_window = 64) t =
     v_trace = Trace.recent t.trace_buf trace_window;
     v_trace_hash = Trace.hash t.trace_buf;
     v_trace_count = Trace.count t.trace_buf;
+    v_events = events t;
+    v_events_dropped = t.events_dropped;
   }
 
 let drain t ~limit =

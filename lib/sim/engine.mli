@@ -36,6 +36,7 @@ val create :
   ?seed:int ->
   ?policy:policy ->
   ?trace_capacity:int ->
+  ?event_capacity:int ->
   ?on_crash:[ `Raise | `Record ] ->
   unit ->
   t
@@ -51,7 +52,41 @@ val policy : t -> policy
 val trace : t -> Trace.t
 
 val record : t -> string -> unit
-(** Records a trace event at the current virtual time. *)
+(** Records a free-form trace note at the current virtual time (a
+    {!Event.Note} in the structured log, rendered verbatim into the
+    string trace). *)
+
+(** {1 Structured events and causality}
+
+    Every event carries a {!Vclock} snapshot.  Fibers each own a clock
+    component; tasks queued from anywhere capture the enqueuer's clock
+    and restore it while they run, and wakers merge it into the resumed
+    fiber — so happens-before edges follow message hops and wakeups
+    automatically.  Kernel code adds edges for data that rests in passive
+    queues via {!stamp}/{!adopt}. *)
+
+val emit : t -> Event.kind -> unit
+(** Appends a structured event stamped with the current time and clock.
+    Inside a fiber this ticks the fiber's clock first; in scheduler
+    context the ambient clock is snapshotted unticked.  Legacy kinds
+    ([Spawn]/[Crash]/[Note]) are also rendered into the string trace;
+    the new kinds are not, so the legacy stream is unperturbed. *)
+
+val events : t -> Event.t list
+(** All structured events so far, oldest first. *)
+
+val events_dropped : t -> int
+(** Events discarded after [event_capacity] (default 200k) was hit. *)
+
+val stamp : t -> string -> unit
+(** [stamp t key] saves the current clock under [key] — called where a
+    message is deposited into a passive queue that is later drained
+    without a waker hand-off. *)
+
+val adopt : t -> string -> unit
+(** [adopt t key] merges the clock saved under [key] into the current
+    fiber (or ambient) clock and forgets it.  No-op when [key] was never
+    stamped. *)
 
 (** {1 Scheduling} *)
 
@@ -111,8 +146,10 @@ type view = {
   v_fibers : fiber_info list;  (** every fiber ever spawned, by id *)
   v_crashes : (string * string) list;
   v_trace : (Time.t * string) list;  (** most recent trace window *)
-  v_trace_hash : int;
+  v_trace_hash : int64;
   v_trace_count : int;
+  v_events : Event.t list;  (** structured event log, oldest first *)
+  v_events_dropped : int;  (** events lost to the capacity cap *)
 }
 
 val view : ?trace_window:int -> t -> view

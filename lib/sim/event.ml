@@ -1,0 +1,61 @@
+type kind =
+  | Spawn of { fid : int; name : string }
+  | Crash of { fid : int; name : string; error : string }
+  | Note of string
+  | Block of { reason : string }
+  | Send of { obj : string; op : string }
+  | Receive of { obj : string; op : string }
+  | Signal of { obj : string; woke : bool }
+  | Signal_seen of { obj : string }
+  | Wait of { obj : string }
+  | Link_move of { obj : string }
+
+type t = {
+  ev_time : Time.t;
+  ev_fiber : int;
+  ev_clock : Vclock.t;
+  ev_kind : kind;
+}
+
+let obj t =
+  match t.ev_kind with
+  | Send { obj; _ }
+  | Receive { obj; _ }
+  | Signal { obj; _ }
+  | Signal_seen { obj }
+  | Wait { obj }
+  | Link_move { obj } ->
+    Some obj
+  | Spawn _ | Crash _ | Note _ | Block _ -> None
+
+(* These three renderings must stay byte-identical to the strings the
+   engine recorded before events existed: trace hashes are compared
+   across versions. *)
+let legacy_render t =
+  match t.ev_kind with
+  | Spawn { fid; name } -> Some (Printf.sprintf "spawn #%d %s" fid name)
+  | Crash { fid; name; error } ->
+    Some (Printf.sprintf "crash #%d %s: %s" fid name error)
+  | Note msg -> Some msg
+  | Block _ | Send _ | Receive _ | Signal _ | Signal_seen _ | Wait _
+  | Link_move _ ->
+    None
+
+let kind_to_string = function
+  | Spawn { fid; name } -> Printf.sprintf "spawn #%d %s" fid name
+  | Crash { fid; name; error } ->
+    Printf.sprintf "crash #%d %s: %s" fid name error
+  | Note msg -> Printf.sprintf "note %s" msg
+  | Block { reason } -> Printf.sprintf "block %s" reason
+  | Send { obj; op } -> Printf.sprintf "send %s op=%s" obj op
+  | Receive { obj; op } -> Printf.sprintf "receive %s op=%s" obj op
+  | Signal { obj; woke } ->
+    Printf.sprintf "signal %s %s" obj (if woke then "woke" else "latched")
+  | Signal_seen { obj } -> Printf.sprintf "signal-seen %s" obj
+  | Wait { obj } -> Printf.sprintf "wait %s" obj
+  | Link_move { obj } -> Printf.sprintf "link-move %s" obj
+
+let describe t =
+  Printf.sprintf "[%.3fms #%d %s] %s" (Time.to_ms t.ev_time) t.ev_fiber
+    (Vclock.to_string t.ev_clock)
+    (kind_to_string t.ev_kind)

@@ -43,7 +43,8 @@ let record t time msg =
   match t.echo with None -> () | Some f -> f time msg
 
 let count t = t.count
-let hash t = Int64.to_int t.hash
+let hash t = t.hash
+let hash_hex t = Printf.sprintf "%016Lx" t.hash
 
 let recent t n =
   let n = min n (min t.count t.capacity) in

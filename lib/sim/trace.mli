@@ -15,8 +15,13 @@ val record : t -> Time.t -> string -> unit
 val count : t -> int
 (** Total events ever recorded, not just those retained. *)
 
-val hash : t -> int
-(** Running FNV-1a hash over all recorded events, in order. *)
+val hash : t -> int64
+(** Running FNV-1a hash over all recorded events, in order.  The full
+    64-bit state: truncating to a native [int] would drop the top bit on
+    64-bit platforms and wrap on 32-bit ones. *)
+
+val hash_hex : t -> string
+(** {!hash} as a 16-digit zero-padded lowercase hex string. *)
 
 val recent : t -> int -> (Time.t * string) list
 (** [recent t n] is the last [n] retained events, oldest first. *)

@@ -89,14 +89,21 @@ let charge t = Engine.sleep t.eng t.cst.Costs.interrupt_cpu
 (* Deliver an interrupt to a process's handler.  Runs in scheduler
    context; handlers must not block (they may only record state and wake
    fibers), mirroring SODA's interrupt discipline. *)
+let intr_obj (p : process) = Printf.sprintf "soda.int%d" p.p_id
+
 let deliver t p intr =
   if p.p_alive then begin
     match (p.p_handler, p.p_masked, intr) with
     | Some h, false, _ ->
       Stats.incr t.sts "soda.interrupts";
+      Engine.emit t.eng (Event.Signal { obj = intr_obj p; woke = true });
       h intr
     | _, _, (Completed _ | Aborted _ | Withdrawn _) ->
       Stats.incr t.sts "soda.interrupts_queued";
+      (* The software-interrupt window: the completion arrived while the
+         handler was masked or unset, so it only sits in the queue — it
+         is seen again (Signal_seen) when the drain runs, or never. *)
+      Engine.emit t.eng (Event.Signal { obj = intr_obj p; woke = false });
       Queue.add intr p.p_queued
     | _, _, Request _ ->
       (* Requests are never queued at the target while masked: the
@@ -319,23 +326,23 @@ let discover t pid name_ =
 
 (* ---- Interrupt management --------------------------------------------- *)
 
+let drain_queued t p =
+  while not (Queue.is_empty p.p_queued) do
+    Engine.emit t.eng (Event.Signal_seen { obj = intr_obj p });
+    deliver t p (Queue.take p.p_queued)
+  done
+
 let set_handler t pid h =
   let p = proc t pid in
   p.p_handler <- Some h;
-  if not p.p_masked then
-    while not (Queue.is_empty p.p_queued) do
-      deliver t p (Queue.take p.p_queued)
-    done
+  if not p.p_masked then drain_queued t p
 
 let mask t pid = (proc t pid).p_masked <- true
 
 let unmask t pid =
   let p = proc t pid in
   p.p_masked <- false;
-  if p.p_handler <> None then
-    while not (Queue.is_empty p.p_queued) do
-      deliver t p (Queue.take p.p_queued)
-    done
+  if p.p_handler <> None then drain_queued t p
 
 (* ---- Lifecycle -------------------------------------------------------- *)
 

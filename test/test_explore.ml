@@ -94,8 +94,10 @@ let broken_outcome =
         ];
       v_crashes = [];
       v_trace = [ (Time.ms 3, "late"); (Time.ms 1, "early") ];
-      v_trace_hash = 0;
+      v_trace_hash = 0L;
       v_trace_count = 2;
+      v_events = [];
+      v_events_dropped = 0;
     }
   in
   {

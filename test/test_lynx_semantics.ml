@@ -129,6 +129,82 @@ let call_tests =
                | _ -> ()));
         checkb "intact" true !ok)
 
+(* Every shape of signature mismatch, on every backend.  Server-side
+   checks come back to the caller as [Remote_error] carrying the
+   "type error:" rendering; the caller-side [~expect] check raises
+   [Type_error] directly. *)
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let remote_error_of p lnk ~op args =
+  match P.call p lnk ~op args with
+  | _ -> None
+  | exception Lynx.Excn.Remote_error m -> Some m
+
+let signature_matrix_tests =
+  let mismatch name ~sg ~handler ~args ~expect_mention =
+    on_all name `Quick (fun (module W) ->
+        let got = ref None in
+        ignore
+          (duo
+             (module W)
+             ~server:(echo_server "typed" ~sg handler)
+             ~client:(fun p lnk -> got := remote_error_of p lnk ~op:"typed" args));
+        match !got with
+        | None -> Alcotest.fail "call succeeded despite the mismatch"
+        | Some m ->
+          checkb
+            (Printf.sprintf "mentions %S (got %S)" expect_mention m)
+            true
+            (contains m "type error" && contains m expect_mention))
+  in
+  mismatch "argument arity mismatch"
+    ~sg:(T.signature [ T.Int; T.Int ] ~results:[ T.Int ])
+    ~handler:(fun _ -> [ V.Int 0 ])
+    ~args:[ V.Int 1 ] ~expect_mention:"arguments"
+  @ mismatch "argument type mismatch"
+      ~sg:(T.signature [ T.Int ] ~results:[ T.Int ])
+      ~handler:(fun _ -> [ V.Int 0 ])
+      ~args:[ V.Str "not an int" ] ~expect_mention:"arguments"
+  @ mismatch "result type mismatch"
+      ~sg:(T.signature [] ~results:[ T.Str ])
+      ~handler:(fun _ -> [ V.Int 42 ])
+      ~args:[] ~expect_mention:"results"
+  @ mismatch "non-link where enclosure expected"
+      ~sg:(T.signature [ T.Link ] ~results:[])
+      ~handler:(fun _ -> [])
+      ~args:[ V.Int 9 ] ~expect_mention:"arguments"
+  @ on_all "link where non-link expected" `Quick (fun (module W) ->
+        let got = ref None in
+        ignore
+          (duo
+             (module W)
+             ~server:
+               (echo_server "typed"
+                  ~sg:(T.signature [ T.Int ] ~results:[])
+                  (fun _ -> []))
+             ~client:(fun p lnk ->
+               let near, _far = P.new_link p in
+               got := remote_error_of p lnk ~op:"typed" [ V.Link near ]));
+        match !got with
+        | None -> Alcotest.fail "call succeeded despite the mismatch"
+        | Some m ->
+          checkb "mentions arguments" true
+            (contains m "type error" && contains m "arguments"))
+  @ on_all "reply arity mismatch with ~expect" `Quick (fun (module W) ->
+        let raised = ref false in
+        ignore
+          (duo
+             (module W)
+             ~server:(echo_server "pair" (fun _ -> [ V.Int 1; V.Int 2 ]))
+             ~client:(fun p lnk ->
+               match P.call p lnk ~op:"pair" ~expect:[ T.Int ] [] with
+               | _ -> ()
+               | exception Lynx.Excn.Type_error _ -> raised := true));
+        checkb "raised" true !raised)
+
 let error_tests =
   on_all "handler exception becomes Remote_error" `Quick (fun (module W) ->
       let got = ref "" in
@@ -638,6 +714,7 @@ let () =
     [
       ("call", call_tests);
       ("errors", error_tests);
+      ("signature-matrix", signature_matrix_tests);
       ("moves", move_tests);
       ("queues", queue_tests);
       ("lifecycle", lifecycle_tests);
