@@ -1,0 +1,200 @@
+(* Perf-regression gate over BENCH_sim.json.
+
+   usage:  compare.exe BASELINE FRESH
+
+   Fails (exit 1) if any micro benchmark present in both files got
+   slower by more than the gate percentage — default 25, overridable
+   with BENCH_GATE_PCT.  The explore-sweep wall times are printed for
+   context but not gated: they depend on the runner's core count and
+   load in a way ns-per-iter slopes do not.
+
+   The parser covers exactly the JSON subset the bench emits (objects,
+   strings, numbers) so the repo needs no JSON dependency. *)
+
+type json = Num of float | Str of string | Obj of (string * json) list
+
+exception Parse_error of string
+
+let parse (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg =
+    raise (Parse_error (Printf.sprintf "%s at byte %d" msg !pos))
+  in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let skip_ws () =
+    while
+      !pos < n
+      && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    skip_ws ();
+    if peek () = Some c then incr pos
+    else fail (Printf.sprintf "expected %C" c)
+  in
+  let string_lit () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      match s.[!pos] with
+      | '"' -> incr pos
+      | '\\' ->
+        incr pos;
+        if !pos >= n then fail "unterminated escape";
+        (match s.[!pos] with
+        | 'n' -> Buffer.add_char buf '\n'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'u' -> pos := !pos + 4 (* the bench never emits these in keys *)
+        | c -> Buffer.add_char buf c);
+        incr pos;
+        go ()
+      | c ->
+        Buffer.add_char buf c;
+        incr pos;
+        go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let number () =
+    let start = !pos in
+    while
+      !pos < n
+      &&
+      match s.[!pos] with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    do
+      incr pos
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "bad number"
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' -> obj ()
+    | Some '"' -> Str (string_lit ())
+    | Some ('-' | '0' .. '9') -> Num (number ())
+    | _ -> fail "expected a value"
+  and obj () =
+    expect '{';
+    skip_ws ();
+    if peek () = Some '}' then begin
+      incr pos;
+      Obj []
+    end
+    else begin
+      let rec fields acc =
+        skip_ws ();
+        let k = string_lit () in
+        expect ':';
+        let v = value () in
+        skip_ws ();
+        match peek () with
+        | Some ',' ->
+          incr pos;
+          fields ((k, v) :: acc)
+        | Some '}' ->
+          incr pos;
+          List.rev ((k, v) :: acc)
+        | _ -> fail "expected ',' or '}'"
+      in
+      Obj (fields [])
+    end
+  in
+  let v = value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing input";
+  v
+
+let read_json path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  try parse s
+  with Parse_error msg ->
+    Printf.eprintf "%s: %s\n" path msg;
+    exit 2
+
+let numbers_under key = function
+  | Obj fields -> (
+    match List.assoc_opt key fields with
+    | Some (Obj sub) ->
+      List.filter_map
+        (fun (k, v) -> match v with Num f -> Some (k, f) | _ -> None)
+        sub
+    | _ -> [])
+  | _ -> []
+
+let () =
+  let base_path, fresh_path =
+    match Sys.argv with
+    | [| _; b; f |] -> (b, f)
+    | _ ->
+      prerr_endline "usage: compare.exe BASELINE FRESH";
+      exit 2
+  in
+  let gate_pct =
+    match Option.map float_of_string_opt (Sys.getenv_opt "BENCH_GATE_PCT") with
+    | Some (Some p) when p > 0. -> p
+    | Some _ ->
+      prerr_endline "BENCH_GATE_PCT must be a positive number";
+      exit 2
+    | None -> 25.
+  in
+  let base = read_json base_path and fresh = read_json fresh_path in
+  let base_micro = numbers_under "micro_ns_per_iter" base in
+  let fresh_micro = numbers_under "micro_ns_per_iter" fresh in
+  if base_micro = [] then begin
+    Printf.eprintf "%s: no micro_ns_per_iter entries\n" base_path;
+    exit 2
+  end;
+  Printf.printf "perf gate: +%.0f%% allowed vs %s\n" gate_pct base_path;
+  let regressions = ref 0 in
+  List.iter
+    (fun (name, b) ->
+      match List.assoc_opt name fresh_micro with
+      | None -> Printf.printf "  %-32s missing from fresh run [skip]\n" name
+      | Some f ->
+        let pct = (f -. b) /. b *. 100. in
+        let verdict =
+          if pct > gate_pct then begin
+            incr regressions;
+            "[REGRESSED]"
+          end
+          else "[ok]"
+        in
+        Printf.printf "  %-32s %10.1f -> %10.1f ns  %+6.1f%%  %s\n" name b f
+          pct verdict)
+    base_micro;
+  List.iter
+    (fun (name, _) ->
+      if not (List.mem_assoc name base_micro) then
+        Printf.printf "  %-32s new benchmark, no baseline [info]\n" name)
+    fresh_micro;
+  (match
+     (numbers_under "sweep_wall_ms" base, numbers_under "sweep_wall_ms" fresh)
+   with
+  | [], _ | _, [] -> ()
+  | base_sweep, fresh_sweep ->
+    print_endline "  sweep wall times (not gated):";
+    List.iter
+      (fun (name, b) ->
+        match List.assoc_opt name fresh_sweep with
+        | Some f ->
+          Printf.printf "    %-30s %10.1f -> %10.1f ms\n" name b f
+        | None -> ())
+      base_sweep);
+  if !regressions > 0 then begin
+    Printf.printf "%d micro benchmark(s) regressed beyond +%.0f%%\n"
+      !regressions gate_pct;
+    exit 1
+  end
+  else print_endline "no regressions beyond the gate"

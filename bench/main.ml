@@ -12,10 +12,13 @@ module R = Metrics.Report
 module BW = Harness.Backend_world
 module S = Harness.Scenarios
 
-let all_ok = ref true
+(* Experiments may run on worker domains (-j); the shared verdict is an
+   atomic so a mismatch on any worker flips it without a race. *)
+let all_ok = Atomic.make true
+let fail () = Atomic.set all_ok false
 
 let check ~label ~pct ~paper measured =
-  if not (R.check_line ~label ~pct ~paper ~measured) then all_ok := false
+  if not (R.check_line ~label ~pct ~paper ~measured) then fail ()
 
 let lynx_mean b payload = Harness.Rpc_bench.mean_ms (Harness.Rpc_bench.run b ~payload ())
 
@@ -45,7 +48,7 @@ let e1 () =
 let e2 () =
   R.section "E2 (§3.3/§5.3): run-time package size (relative claim)";
   match Metrics.Source_size.backend_sizes () with
-  | None -> print_endline "  (sources not found; skipped)"
+  | None -> R.print_endline "  (sources not found; skipped)"
   | Some sizes ->
     let get n = (List.assoc n sizes).Metrics.Source_size.code_lines in
     R.table
@@ -57,11 +60,11 @@ let e2 () =
         [ "shared LYNX core"; string_of_int (get "lynx"); "-" ];
       ];
     let c = get "lynx_charlotte" and s = get "lynx_soda" and h = get "lynx_chrysalis" in
-    Printf.printf
+    R.printf
       "  paper's claim: the Charlotte package is the largest (its\n\
       \  unwanted-message and multi-enclosure machinery): %s\n"
       (if c > s && c > h then "[ok]" else "[MISMATCH]");
-    if not (c > s && c > h) then all_ok := false
+    if not (c > s && c > h) then fail ()
 
 (* ---- E3: §4.3 — SODA 3x + break-even ------------------------------------- *)
 
@@ -69,7 +72,7 @@ let e3 () =
   R.section "E3 (§4.3): SODA vs Charlotte — 3x for small messages, crossover";
   let raw_c = Sim.Time.to_ms (Harness.Rpc_bench.raw_charlotte ~payload:0 ()) in
   let raw_s = Sim.Time.to_ms (Harness.Rpc_bench.raw_soda ~payload:0 ()) in
-  Printf.printf "  raw kernels, small messages: charlotte %s, soda %s -> %s\n"
+  R.printf "  raw kernels, small messages: charlotte %s, soda %s -> %s\n"
     (R.ms raw_c) (R.ms raw_s)
     (R.ratio (raw_c /. raw_s));
   check ~label:"speedup (paper: 3x)" ~pct:10. ~paper:3.0 (raw_c /. raw_s);
@@ -97,13 +100,13 @@ let e3 () =
   in
   (match crossover with
   | Some (lo, hi) ->
-    Printf.printf "  crossover between %d and %d bytes (paper: 1K-2K) %s\n" lo
+    R.printf "  crossover between %d and %d bytes (paper: 1K-2K) %s\n" lo
       hi
       (if lo >= 1000 && hi <= 2000 then "[ok]" else "[MISMATCH]");
-    if not (lo >= 1000 && hi <= 2000) then all_ok := false
+    if not (lo >= 1000 && hi <= 2000) then fail ()
   | None ->
-    print_endline "  no crossover found [MISMATCH]";
-    all_ok := false)
+    R.print_endline "  no crossover found [MISMATCH]";
+    fail ())
 
 (* ---- E4: §5.3 — Chrysalis latency ----------------------------------------- *)
 
@@ -120,10 +123,10 @@ let e4 () =
     ];
   check ~label:"chrysalis 0B" ~pct:5. ~paper:2.4 b0;
   check ~label:"chrysalis 1000B" ~pct:5. ~paper:4.6 b1000;
-  Printf.printf "  vs Charlotte: %s faster (paper: 'more than an order of magnitude') %s\n"
+  R.printf "  vs Charlotte: %s faster (paper: 'more than an order of magnitude') %s\n"
     (R.ratio (c0 /. b0))
     (if c0 /. b0 > 10. then "[ok]" else "[MISMATCH]");
-  if c0 /. b0 <= 10. then all_ok := false
+  if c0 /. b0 <= 10. then fail ()
 
 (* ---- F1: figure 1 — simultaneous move -------------------------------------- *)
 
@@ -133,7 +136,7 @@ let f1 () =
     List.map
       (fun (module W : BW.WORLD) ->
         let o = S.simultaneous_move (module W) in
-        if not o.S.o_ok then all_ok := false;
+        if not o.S.o_ok then fail ();
         let move_cost =
           match W.name with
           | "charlotte" ->
@@ -168,10 +171,10 @@ let f2 () =
         let c = S.enclosure_protocol ~n_encl:k BW.charlotte in
         let s = S.enclosure_protocol ~n_encl:k BW.soda in
         let h = S.enclosure_protocol ~n_encl:k BW.chrysalis in
-        if not (c.S.o_ok && s.S.o_ok && h.S.o_ok) then all_ok := false;
+        if not (c.S.o_ok && s.S.o_ok && h.S.o_ok) then fail ();
         let expected = if k <= 1 then 2 else k + 2 in
         let measured = S.counter c "charlotte.kernel_msgs" in
-        if measured <> expected then all_ok := false;
+        if measured <> expected then fail ();
         [
           string_of_int k;
           Printf.sprintf "%d (expected %d)" measured expected;
@@ -184,7 +187,7 @@ let f2 () =
     ~header:
       [ "enclosures"; "charlotte msgs"; "soda data puts"; "chrysalis slot writes" ]
     rows;
-  print_endline
+  R.print_endline
     "  paper: Charlotte needs request/goahead/enc.../reply; SODA and\n\
     \  Chrysalis move any number of ends in the message itself."
 
@@ -208,7 +211,7 @@ let e5 () =
       (fun (module W : BW.WORLD) ->
         let cross = S.cross_request (module W) in
         let race = S.open_close_race (module W) in
-        if not (cross.S.o_ok && race.S.o_ok) then all_ok := false;
+        if not (cross.S.o_ok && race.S.o_ok) then fail ();
         [
           row (W.name ^ ": cross request") cross;
           row (W.name ^ ": open/close race") race;
@@ -218,7 +221,7 @@ let e5 () =
   R.table
     ~header:[ "scenario"; "outcome"; "unwanted msgs"; "bounce traffic" ]
     rows;
-  print_endline
+  R.print_endline
     "  paper: only Charlotte ever receives a message it does not want\n\
     \  (lesson two: screening belongs in the application layer).";
   R.section "E5b (§3.2.2): the lost-enclosure deviation";
@@ -226,12 +229,12 @@ let e5 () =
     List.map
       (fun (module W : BW.WORLD) ->
         let o = S.lost_enclosure (module W) in
-        if not o.S.o_ok then all_ok := false;
+        if not o.S.o_ok then fail ();
         [ W.name; o.S.o_detail ])
       BW.all
   in
   R.table ~header:[ "backend"; "outcome" ] rows;
-  print_endline
+  R.print_endline
     "  paper: under Charlotte the enclosed end is lost when the holder\n\
     \  dies mid-bounce; SODA and Chrysalis recover it."
 
@@ -267,7 +270,7 @@ let e6 () =
     ~header:
       [ "backend"; "RPC 0B"; "RPC 1000B"; "unwanted msgs"; "channel-layer LoC" ]
     rows;
-  print_endline
+  R.print_endline
     "  the paper's conclusion in one table: the high-level kernel is the\n\
     \  slowest, needs the most runtime code, and is the only one that\n\
     \  ever receives an unwanted message."
@@ -301,7 +304,7 @@ let a2 () =
   R.section "A2 (ablation, lesson one): hint-based moves in the Charlotte kernel";
   let plain = S.simultaneous_move BW.charlotte in
   let hinted = S.simultaneous_move BW.charlotte_hints in
-  if not (plain.S.o_ok && hinted.S.o_ok) then all_ok := false;
+  if not (plain.S.o_ok && hinted.S.o_ok) then fail ();
   R.table
     ~header:[ "kernel variant"; "figure-1 duration"; "move-protocol msgs" ]
     [
@@ -316,7 +319,7 @@ let a2 () =
         string_of_int (S.counter hinted "charlotte.move_protocol_msgs");
       ];
     ];
-  Printf.printf "  hint-based moves are %s faster on the figure-1 workload
+  R.printf "  hint-based moves are %s faster on the figure-1 workload
 "
     (R.ratio
        (Sim.Time.to_ms plain.S.o_duration /. Sim.Time.to_ms hinted.S.o_duration))
@@ -329,7 +332,7 @@ let a3 () =
     List.map
       (fun loss ->
         let o = S.soda_hint_repair ~broadcast_loss:loss () in
-        if not o.S.o_ok then all_ok := false;
+        if not o.S.o_ok then fail ();
         [
           Printf.sprintf "%.0f%%" (loss *. 100.);
           (if o.S.o_ok then "repaired" else "LOST");
@@ -341,7 +344,7 @@ let a3 () =
   R.table
     ~header:[ "broadcast loss"; "outcome"; "discover attempts"; "freeze searches" ]
     rows;
-  print_endline
+  R.print_endline
     "  paper: \"if the heuristics failed too often, a fall-back\n\
     \  mechanism would be needed\" — the freeze search takes over as\n\
     \  discover degrades, and the link is never presumed dead wrongly."
@@ -362,11 +365,11 @@ let a4 () =
       [ "after predicted tuning"; R.ms tuned0; R.ms tuned1000 ];
     ];
   let improvement = (base0 -. tuned0) /. base0 *. 100. in
-  Printf.printf
+  R.printf
     "  0-byte figure improves by %.0f%% (paper predicts 30-40%%) %s\n"
     improvement
     (if improvement >= 30. && improvement <= 40. then "[ok]" else "[MISMATCH]");
-  if not (improvement >= 30. && improvement <= 40.) then all_ok := false
+  if not (improvement >= 30. && improvement <= 40.) then fail ()
 
 (* §4.2.1: "too small a limit on outstanding requests would leave the
    possibility of deadlock when many links connect the same pair of
@@ -390,8 +393,8 @@ let a5 () =
         string_of_int (S.counter naive "lynx_soda.data_puts");
       ];
     ];
-  if not budgeted.S.o_ok then all_ok := false;
-  if naive.S.o_ok then all_ok := false
+  if not budgeted.S.o_ok then fail ();
+  if naive.S.o_ok then fail ()
   (* the naive layer *must* starve for the hazard to be demonstrated *)
 
 (* Beyond the paper: how far do concurrent coroutines pipeline against
@@ -416,18 +419,69 @@ let x1 () =
       ks
   in
   R.table ~header:[ "coroutines"; "charlotte"; "soda"; "chrysalis" ] rows;
-  print_endline
+  R.print_endline
     "  stop-and-wait per coroutine; extra coroutines pipeline against\n\
     \  the kernel's buffering (one kernel send per end under Charlotte,\n\
     \  one slot per kind under Chrysalis, the pair budget under SODA)."
 
 (* ---- Micro benches (Bechamel): simulator substrate throughput -------------- *)
 
+(* The micro results are also written as JSON (default BENCH_sim.json,
+   override with BENCH_OUT) so CI can diff a fresh run against the
+   committed baseline with bench/compare.exe. *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_bench_json ~jobs ~micros ~sweeps =
+  let path = Option.value ~default:"BENCH_sim.json" (Sys.getenv_opt "BENCH_OUT") in
+  let buf = Buffer.create 1024 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let obj fields =
+    String.concat ",\n"
+      (List.map
+         (fun (k, v) -> Printf.sprintf "    \"%s\": %.1f" (json_escape k) v)
+         fields)
+  in
+  pr "{\n";
+  pr "  \"schema\": \"lynx-bench/1\",\n";
+  pr "  \"jobs\": %d,\n" jobs;
+  pr "  \"micro_ns_per_iter\": {\n%s\n  },\n" (obj micros);
+  pr "  \"sweep_wall_ms\": {\n%s\n  }\n" (obj sweeps);
+  pr "}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  R.printf "  wrote %s\n" path
+
+(* Wall-clock time of a fixed reduced explore sweep — the macro workload
+   the multicore pool exists for.  Measured at -j1 and at the machine's
+   recommended domain count. *)
+let sweep_wall jobs =
+  let t0 = Unix.gettimeofday () in
+  ignore (Explore.Driver.sweep ~jobs ~seeds:[ 1; 2 ] ());
+  (Unix.gettimeofday () -. t0) *. 1000.
+
 let micro () =
   R.section "M1-M4: simulator micro-benchmarks (wall time, Bechamel)";
   let open Bechamel in
-  let engine_events () =
-    let e = Sim.Engine.create () in
+  (* The headline engine bench runs the batch configuration — the one
+     sweeps and the races command use — where the legacy string trace is
+     not rendered on the emit path.  The rendering cost is tracked
+     separately so a regression in either path is visible. *)
+  let engine_run ~legacy_trace () =
+    let e = Sim.Engine.create ~legacy_trace () in
     ignore
       (Sim.Engine.spawn e (fun () ->
            for _ = 1 to 100 do
@@ -435,6 +489,8 @@ let micro () =
            done));
     Sim.Engine.run e
   in
+  let engine_events () = engine_run ~legacy_trace:false () in
+  let engine_events_legacy () = engine_run ~legacy_trace:true () in
   let heap_churn () =
     let h = Sim.Heap.create () in
     for i = 0 to 199 do
@@ -460,6 +516,8 @@ let micro () =
   let tests =
     [
       Test.make ~name:"engine: 100 timer events" (Staged.stage engine_events);
+      Test.make ~name:"engine: 100 events, legacy trace"
+        (Staged.stage engine_events_legacy);
       Test.make ~name:"heap: 200 add+pop" (Staged.stage heap_churn);
       Test.make ~name:"codec: encode+decode 280B" (Staged.stage codec_roundtrip);
       Test.make ~name:"full chrysalis RPC sim" (Staged.stage chrysalis_rpc);
@@ -470,19 +528,36 @@ let micro () =
   let ols =
     Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
   in
-  List.iter
-    (fun test ->
-      List.iter
-        (fun elt ->
-          let m = Benchmark.run cfg instances elt in
-          let est = Analyze.one ols Toolkit.Instance.monotonic_clock m in
-          match Analyze.OLS.estimates est with
-          | Some [ ns ] ->
-            Printf.printf "  %-32s %12.1f ns/iter (%d samples)\n"
-              (Test.Elt.name elt) ns m.Benchmark.stats.Benchmark.samples
-          | _ -> Printf.printf "  %-32s (no estimate)\n" (Test.Elt.name elt))
-        (Test.elements test))
-    tests
+  let micros =
+    List.concat_map
+      (fun test ->
+        List.filter_map
+          (fun elt ->
+            let m = Benchmark.run cfg instances elt in
+            let est = Analyze.one ols Toolkit.Instance.monotonic_clock m in
+            match Analyze.OLS.estimates est with
+            | Some [ ns ] ->
+              R.printf "  %-32s %12.1f ns/iter (%d samples)\n"
+                (Test.Elt.name elt) ns m.Benchmark.stats.Benchmark.samples;
+              Some (Test.Elt.name elt, ns)
+            | _ ->
+              R.printf "  %-32s (no estimate)\n" (Test.Elt.name elt);
+              None)
+          (Test.elements test))
+      tests
+  in
+  R.section "M5: explore-sweep wall time (seeds 1-2, real time)";
+  let jn = Parallel.Pool.default_jobs () in
+  let w1 = sweep_wall 1 in
+  let wn = if jn = 1 then w1 else sweep_wall jn in
+  R.printf "  sweep -j1 %38.1f ms\n" w1;
+  R.printf "  sweep -j%-2d %37.1f ms  (%s)\n" jn wn
+    (if jn = 1 then "single-core machine" else R.ratio (w1 /. wn) ^ " speedup");
+  let sweeps =
+    ("sweep -j1", w1)
+    :: (if jn = 1 then [] else [ (Printf.sprintf "sweep -j%d" jn, wn) ])
+  in
+  write_bench_json ~jobs:jn ~micros ~sweeps
 
 (* ---- Driver --------------------------------------------------------------------- *)
 
@@ -505,23 +580,52 @@ let experiments =
     ("micro", micro);
   ]
 
+let usage () =
+  prerr_endline "usage: main.exe [-j N] [experiment ...]";
+  exit 2
+
 let () =
+  let rec parse jobs names = function
+    | [] -> (jobs, List.rev names)
+    | ("-j" | "--jobs") :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some j when j >= 1 -> parse j names rest
+      | _ -> usage ())
+    | [ ("-j" | "--jobs") ] -> usage ()
+    | name :: rest -> parse jobs (name :: names) rest
+  in
+  let jobs, requested = parse 1 [] (List.tl (Array.to_list Sys.argv)) in
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst experiments
+    if requested = [] then List.map fst experiments else requested
   in
   print_endline
     "LYNX reproduction bench — every table/figure from Scott, ICPP'86";
   print_endline
     "(simulated time from calibrated cost models; counts are exact)";
-  List.iter
-    (fun name ->
-      match List.assoc_opt name experiments with
-      | Some f -> f ()
-      | None -> Printf.printf "unknown experiment %S\n" name)
-    requested;
-  Printf.printf "\n%s\n"
-    (if !all_ok then "ALL EXPERIMENTS MATCH THE PAPER (within tolerance)"
+  (* -j runs whole experiments on the domain pool, each collecting its
+     report into a private buffer; printing afterwards in request order
+     keeps the output byte-identical to a sequential run.  The default
+     stays -j1: the micro benches are wall-clock-sensitive and should
+     not share the machine. *)
+  if jobs = 1 then
+    List.iter
+      (fun name ->
+        match List.assoc_opt name experiments with
+        | Some f -> f ()
+        | None -> R.printf "unknown experiment %S\n" name)
+      requested
+  else
+    Parallel.Pool.map_list ~jobs
+      (fun name ->
+        let buf = Buffer.create 4096 in
+        R.with_sink buf (fun () ->
+            match List.assoc_opt name experiments with
+            | Some f -> f ()
+            | None -> R.printf "unknown experiment %S\n" name);
+        buf)
+      requested
+    |> List.iter (fun buf -> print_string (Buffer.contents buf));
+  R.printf "\n%s\n"
+    (if Atomic.get all_ok then "ALL EXPERIMENTS MATCH THE PAPER (within tolerance)"
      else "SOME EXPERIMENTS MISMATCHED — see [MISMATCH] lines above");
-  if not !all_ok then exit 1
+  if not (Atomic.get all_ok) then exit 1

@@ -187,6 +187,16 @@ let repair_cmd =
 
 (* ---- explore: schedule exploration with invariant checking ---------------- *)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for the sweep (default: the machine's recommended \
+     domain count).  Results are identical at every job count."
+  in
+  Arg.(
+    value
+    & opt int (Parallel.Pool.default_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
 let explore_cmd =
   let seeds =
     Arg.(
@@ -217,7 +227,7 @@ let explore_cmd =
     let doc = "Restrict to one backend; repeatable." in
     Arg.(value & opt_all string [] & info [ "backend" ] ~docv:"BACKEND" ~doc)
   in
-  let run n policies scenario_filter backend_filter =
+  let run n policies scenario_filter backend_filter jobs =
     let module D = Explore.Driver in
     let seeds = List.init (max n 0) (fun i -> i + 1) in
     let policies = if policies = [] then D.all_policies else policies in
@@ -249,7 +259,7 @@ let explore_cmd =
         backend_filter
       end
     in
-    let results = D.sweep ~scenarios ~backends ~seeds ~policies () in
+    let results = D.sweep ~jobs ~scenarios ~backends ~seeds ~policies () in
     if results = [] then begin
       print_endline "no runs selected";
       exit 2
@@ -273,7 +283,9 @@ let explore_cmd =
        ~doc:
          "Sweep every scenario x backend x seed x scheduling policy, check \
           all invariants, and dump a deterministic repro for any failure.")
-    Term.(const run $ seeds $ policies $ scenario_filter $ backend_filter)
+    Term.(
+      const run $ seeds $ policies $ scenario_filter $ backend_filter
+      $ jobs_arg)
 
 (* ---- lint: static protocol linter ---------------------------------------- *)
 
@@ -332,7 +344,7 @@ let races_cmd =
     let doc = "Restrict to one scenario; repeatable." in
     Arg.(value & opt_all string [] & info [ "scenario" ] ~docv:"SCENARIO" ~doc)
   in
-  let run (module W : Harness.Backend_world.WORLD) names seed =
+  let run (module W : Harness.Backend_world.WORLD) names seed jobs =
     let module D = Explore.Driver in
     let names = if names = [] then D.scenario_names else names in
     List.iter
@@ -343,14 +355,22 @@ let races_cmd =
           exit 2
         end)
       names;
+    (* Run every scenario replay on the pool, then print in scenario
+       order — jobs never print, so the report is identical at any -j. *)
+    let results =
+      Parallel.Pool.map_list ~jobs
+        (fun sc ->
+          let case =
+            { D.c_scenario = sc; c_backend = W.name; c_seed = seed;
+              c_policy = D.Fifo }
+          in
+          (sc, D.run_case ~legacy_trace:false case))
+        names
+    in
     let total = ref 0 in
     List.iter
-      (fun sc ->
-        let case =
-          { D.c_scenario = sc; c_backend = W.name; c_seed = seed;
-            c_policy = D.Fifo }
-        in
-        match D.run_case case with
+      (fun (sc, r) ->
+        match r with
         | None -> Printf.printf "%-20s n/a on %s\n" sc W.name
         | Some r ->
           let races = r.D.r_races in
@@ -362,7 +382,7 @@ let races_cmd =
               (fun f -> Format.printf "  %a@." Analysis.Races.pp_finding f)
               races
           end)
-      names;
+      results;
     if !total > 0 then exit 1
   in
   Cmd.v
@@ -370,7 +390,7 @@ let races_cmd =
        ~doc:
          "Replay scenarios and run the happens-before race detector over the \
           structured event stream.")
-    Term.(const run $ backend_arg $ scenario_filter $ seed_arg)
+    Term.(const run $ backend_arg $ scenario_filter $ seed_arg $ jobs_arg)
 
 (* ---- backends ------------------------------------------------------------ *)
 

@@ -4,87 +4,125 @@ type finding = { r_rule : string; r_obj : string; r_detail : string }
 
 let pp_finding ppf f = Fmt.pf ppf "%s %s: %s" f.r_rule f.r_obj f.r_detail
 
-(* Per-object view of the stream, positions in arrival order. *)
-type slot = {
-  mutable sends : (int * int * string * Vclock.t) list;  (* pos, fiber, op, clock *)
-  mutable recvs : int list;  (* positions *)
-  mutable queued_sigs : (int * int * Vclock.t) list;  (* pos, fiber, clock *)
-  mutable seens : (int * Vclock.t) list;
-  mutable wakes : int list;  (* positions of woke=true signals *)
-  mutable waits : (int * int * Vclock.t) list;
-  mutable moves : (int * int * Vclock.t) list;
+(* Accumulator filled during the single pass over the event array;
+   per-object streams are prepended (newest first) and frozen into
+   arrival-order arrays once the pass is done. *)
+type acc = {
+  mutable a_sends : (int * int * string * Vclock.t) list;  (* pos, fiber, op, clock *)
+  mutable a_n_recvs : int;
+  mutable a_queued_sigs : (int * int * Vclock.t) list;  (* pos, fiber, clock *)
+  mutable a_seens : (int * Vclock.t) list;
+  mutable a_n_wakes : int;  (* woke=true signals *)
+  mutable a_waits : (int * int * Vclock.t) list;
+  mutable a_moves : (int * int * Vclock.t) list;
 }
 
 let fresh () =
   {
-    sends = [];
-    recvs = [];
-    queued_sigs = [];
-    seens = [];
-    wakes = [];
-    waits = [];
-    moves = [];
+    a_sends = [];
+    a_n_recvs = 0;
+    a_queued_sigs = [];
+    a_seens = [];
+    a_n_wakes = 0;
+    a_waits = [];
+    a_moves = [];
   }
 
-let index events =
+(* Frozen per-object index: arrival-order arrays, so every rule reads
+   counts and positions in O(1) instead of re-walking lists. *)
+type slot = {
+  sends : (int * int * string * Vclock.t) array;
+  n_recvs : int;
+  queued_sigs : (int * int * Vclock.t) array;
+  seens : (int * Vclock.t) array;
+  n_wakes : int;
+  waits : (int * int * Vclock.t) array;
+  moves : (int * int * Vclock.t) array;
+}
+
+let freeze a =
+  let arr l = Array.of_list (List.rev l) in
+  {
+    sends = arr a.a_sends;
+    n_recvs = a.a_n_recvs;
+    queued_sigs = arr a.a_queued_sigs;
+    seens = arr a.a_seens;
+    n_wakes = a.a_n_wakes;
+    waits = arr a.a_waits;
+    moves = arr a.a_moves;
+  }
+
+(* One pass over the structured log; nothing else ever touches the
+   events again. *)
+let index (events : Event.t array) =
   let tbl = Hashtbl.create 64 in
   let slot obj =
     match Hashtbl.find_opt tbl obj with
     | Some s -> s
     | None ->
-        let s = fresh () in
-        Hashtbl.add tbl obj s;
-        s
+      let s = fresh () in
+      Hashtbl.add tbl obj s;
+      s
   in
-  List.iteri
+  Array.iteri
     (fun pos (ev : Event.t) ->
       let fid = ev.Event.ev_fiber and clk = ev.Event.ev_clock in
       match ev.Event.ev_kind with
       | Event.Send { obj; op } ->
-          let s = slot obj in
-          s.sends <- (pos, fid, op, clk) :: s.sends
+        let s = slot obj in
+        s.a_sends <- (pos, fid, op, clk) :: s.a_sends
       | Event.Receive { obj; _ } ->
-          let s = slot obj in
-          s.recvs <- pos :: s.recvs
+        let s = slot obj in
+        s.a_n_recvs <- s.a_n_recvs + 1
       | Event.Signal { obj; woke = false } ->
-          let s = slot obj in
-          s.queued_sigs <- (pos, fid, clk) :: s.queued_sigs
+        let s = slot obj in
+        s.a_queued_sigs <- (pos, fid, clk) :: s.a_queued_sigs
       | Event.Signal { obj; woke = true } ->
-          let s = slot obj in
-          s.wakes <- pos :: s.wakes
+        let s = slot obj in
+        s.a_n_wakes <- s.a_n_wakes + 1
       | Event.Signal_seen { obj } ->
-          let s = slot obj in
-          s.seens <- (pos, clk) :: s.seens
+        let s = slot obj in
+        s.a_seens <- (pos, clk) :: s.a_seens
       | Event.Wait { obj } ->
-          let s = slot obj in
-          s.waits <- (pos, fid, clk) :: s.waits
+        let s = slot obj in
+        s.a_waits <- (pos, fid, clk) :: s.a_waits
       | Event.Link_move { obj } ->
-          let s = slot obj in
-          s.moves <- (pos, fid, clk) :: s.moves
+        let s = slot obj in
+        s.a_moves <- (pos, fid, clk) :: s.a_moves
       | Event.Spawn _ | Event.Crash _ | Event.Note _ | Event.Block _ -> ())
     events;
-  (* Restore arrival order. *)
-  Hashtbl.iter
-    (fun _ s ->
-      s.sends <- List.rev s.sends;
-      s.recvs <- List.rev s.recvs;
-      s.queued_sigs <- List.rev s.queued_sigs;
-      s.seens <- List.rev s.seens;
-      s.wakes <- List.rev s.wakes;
-      s.waits <- List.rev s.waits;
-      s.moves <- List.rev s.moves)
-    tbl;
-  tbl
+  let frozen = Hashtbl.create (Hashtbl.length tbl) in
+  Hashtbl.iter (fun obj a -> Hashtbl.add frozen obj (freeze a)) tbl;
+  frozen
 
+(* Sorted object-name array: rule output order, and the substrate for
+   the R-MOVE prefix range search. *)
 let sorted_objs tbl =
-  List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) tbl [])
+  let objs = Array.of_seq (Hashtbl.to_seq_keys tbl) in
+  Array.sort compare objs;
+  objs
+
+let starts_with ~prefix s =
+  String.length s > String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+(* First index whose entry is >= [key]; strings sharing a prefix sort
+   contiguously, so the range scan that follows visits exactly the
+   prefixed objects, in sorted order. *)
+let lower_bound (objs : string array) key =
+  let lo = ref 0 and hi = ref (Array.length objs) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if String.compare objs.(mid) key < 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
 
 (* R-MSG: concurrent sends into the same queue. *)
-let message_races tbl =
+let message_races tbl objs =
   List.filter_map
     (fun obj ->
       let s = Hashtbl.find tbl obj in
-      let sends = Array.of_list s.sends in
+      let sends = s.sends in
       let first = ref None in
       let count = ref 0 in
       Array.iteri
@@ -100,18 +138,18 @@ let message_races tbl =
       match !first with
       | None -> None
       | Some (fi, opi, fj, opj) ->
-          Some
-            {
-              r_rule = "R-MSG";
-              r_obj = obj;
-              r_detail =
-                Printf.sprintf
-                  "sends %S (fiber #%d) and %S (fiber #%d) are concurrent: \
-                   arrival order is a scheduler accident (%d pair%s)"
-                  opi fi opj fj !count
-                  (if !count = 1 then "" else "s");
-            })
-    (sorted_objs tbl)
+        Some
+          {
+            r_rule = "R-MSG";
+            r_obj = obj;
+            r_detail =
+              Printf.sprintf
+                "sends %S (fiber #%d) and %S (fiber #%d) are concurrent: \
+                 arrival order is a scheduler accident (%d pair%s)"
+                opi fi opj fj !count
+                (if !count = 1 then "" else "s");
+          })
+    (Array.to_list objs)
 
 (* R-SIG: a lost-signal window.  Two shapes:
 
@@ -125,116 +163,125 @@ let message_races tbl =
    - Latched-interrupt loss (SODA software interrupts, where consumers
      never block): a queued signal that the FIFO drain skipped, with a
      later signal-seen on the same object whose clock is concurrent —
-     the drain raced the latch and missed it. *)
-let signal_races tbl =
+     the drain raced the latch and missed it.
+
+   FIFO matching is positional: the first [n] queued signals pair with
+   the [n] seens, the first [m] waits with the [m] woke=true handoffs —
+   array suffixes here, where the list version recomputed lengths per
+   element. *)
+let signal_races tbl objs =
   List.filter_map
     (fun obj ->
       let s = Hashtbl.find tbl obj in
-      (* FIFO-match queued signals against seens, and waits against
-         woke=true handoffs. *)
-      let unmatched_sigs =
-        List.filteri (fun i _ -> i >= List.length s.seens) s.queued_sigs
-      in
-      let unserved_waits =
-        List.filteri (fun i _ -> i >= List.length s.wakes) s.waits
+      let n_seens = Array.length s.seens in
+      let n_waits = Array.length s.waits in
+      let find_from arr start f =
+        let n = Array.length arr in
+        let rec go i = if i >= n then None else
+          match f arr.(i) with Some _ as r -> r | None -> go (i + 1)
+        in
+        go start
       in
       let blocked_miss =
-        List.find_map
-          (fun (_, sfid, sclk) ->
-            List.find_map
-              (fun (_, wfid, wclk) ->
-                if Vclock.concurrent sclk wclk then Some (sfid, wfid) else None)
-              unserved_waits)
-          unmatched_sigs
+        find_from s.queued_sigs n_seens (fun (_, sfid, sclk) ->
+            find_from s.waits s.n_wakes (fun (_, wfid, wclk) ->
+                if Vclock.concurrent sclk wclk then Some (sfid, wfid) else None))
       in
       let latched_miss =
-        if s.waits <> [] then None
+        if n_waits > 0 then None
         else
-          List.find_map
-            (fun (spos, sfid, sclk) ->
-              List.find_map
-                (fun (npos, nclk) ->
+          find_from s.queued_sigs n_seens (fun (spos, sfid, sclk) ->
+              find_from s.seens 0 (fun (npos, nclk) ->
                   if npos > spos && Vclock.concurrent sclk nclk then Some sfid
-                  else None)
-                s.seens)
-            unmatched_sigs
+                  else None))
       in
       match (blocked_miss, latched_miss) with
       | Some (sfid, wfid), _ ->
-          Some
-            {
-              r_rule = "R-SIG";
-              r_obj = obj;
-              r_detail =
-                Printf.sprintf
-                  "signal queued by fiber #%d was never consumed while fiber \
-                   #%d blocked concurrently and was never woken: lost-signal \
-                   window"
-                  sfid wfid;
-            }
+        Some
+          {
+            r_rule = "R-SIG";
+            r_obj = obj;
+            r_detail =
+              Printf.sprintf
+                "signal queued by fiber #%d was never consumed while fiber \
+                 #%d blocked concurrently and was never woken: lost-signal \
+                 window"
+                sfid wfid;
+          }
       | None, Some sfid ->
-          Some
-            {
-              r_rule = "R-SIG";
-              r_obj = obj;
-              r_detail =
-                Printf.sprintf
-                  "signal latched by fiber #%d was skipped by a concurrent \
-                   drain and never seen: lost interrupt"
-                  sfid;
-            }
+        Some
+          {
+            r_rule = "R-SIG";
+            r_obj = obj;
+            r_detail =
+              Printf.sprintf
+                "signal latched by fiber #%d was skipped by a concurrent \
+                 drain and never seen: lost interrupt"
+                sfid;
+          }
       | None, None -> None)
-    (sorted_objs tbl)
+    (Array.to_list objs)
 
 (* R-MOVE: a send into one of a moved end's queues, concurrent with the
-   move and never consumed by a receive on that queue. *)
-let move_races tbl =
-  let objs = sorted_objs tbl in
+   move and never consumed by a receive on that queue.  The moved end's
+   queues all share the ["<end>."] name prefix, so they occupy a
+   contiguous range of the sorted object array — a binary search plus a
+   bounded scan replaces the full-table prefix test per moved object. *)
+let move_races tbl objs =
   List.filter_map
     (fun mobj ->
       let ms = Hashtbl.find tbl mobj in
-      if ms.moves = [] then None
+      if Array.length ms.moves = 0 then None
       else
         let prefix = mobj ^ "." in
-        let is_queue_of o =
-          String.length o > String.length prefix
-          && String.sub o 0 (String.length prefix) = prefix
-        in
-        let hit =
-          List.find_map
-            (fun qobj ->
-              if not (is_queue_of qobj) then None
+        let start = lower_bound objs prefix in
+        let n = Array.length objs in
+        let rec scan_queues i =
+          if i >= n || not (starts_with ~prefix objs.(i)) then None
+          else
+            let qobj = objs.(i) in
+            let qs = Hashtbl.find tbl qobj in
+            let n_recvs = qs.n_recvs in
+            let n_sends = Array.length qs.sends in
+            let rec scan_sends si =
+              if si >= n_sends then None
+              else if si < n_recvs then scan_sends (si + 1)
+                (* consumed: delivery won *)
               else
-                let qs = Hashtbl.find tbl qobj in
-                let n_recvs = List.length qs.recvs in
-                List.find_map
-                  (fun (i, (_, sfid, op, sclk)) ->
-                    if i < n_recvs then None  (* consumed: delivery won *)
-                    else
-                      List.find_map
-                        (fun (_, mfid, mclk) ->
-                          if Vclock.concurrent sclk mclk then
-                            Some (qobj, op, sfid, mfid)
-                          else None)
-                        ms.moves)
-                  (List.mapi (fun i x -> (i, x)) qs.sends))
-            objs
+                let _, sfid, op, sclk = qs.sends.(si) in
+                let n_moves = Array.length ms.moves in
+                let rec scan_moves mi =
+                  if mi >= n_moves then None
+                  else
+                    let _, mfid, mclk = ms.moves.(mi) in
+                    if Vclock.concurrent sclk mclk then
+                      Some (qobj, op, sfid, mfid)
+                    else scan_moves (mi + 1)
+                in
+                (match scan_moves 0 with
+                | Some _ as hit -> hit
+                | None -> scan_sends (si + 1))
+            in
+            (match scan_sends 0 with
+            | Some _ as hit -> hit
+            | None -> scan_queues (i + 1))
         in
-        match hit with
+        match scan_queues start with
         | None -> None
         | Some (qobj, op, sfid, mfid) ->
-            Some
-              {
-                r_rule = "R-MOVE";
-                r_obj = mobj;
-                r_detail =
-                  Printf.sprintf
-                    "link-end transfer (fiber #%d) races in-flight %S from \
-                     fiber #%d on %s: the message was never received"
-                    mfid op sfid qobj;
-              })
-    objs
+          Some
+            {
+              r_rule = "R-MOVE";
+              r_obj = mobj;
+              r_detail =
+                Printf.sprintf
+                  "link-end transfer (fiber #%d) races in-flight %S from \
+                   fiber #%d on %s: the message was never received"
+                  mfid op sfid qobj;
+            })
+    (Array.to_list objs)
 
 let analyze events =
   let tbl = index events in
-  message_races tbl @ signal_races tbl @ move_races tbl
+  let objs = sorted_objs tbl in
+  message_races tbl objs @ signal_races tbl objs @ move_races tbl objs

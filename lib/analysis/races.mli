@@ -38,7 +38,12 @@ type finding = {
   r_detail : string;
 }
 
-val analyze : Sim.Event.t list -> finding list
-(** Events oldest-first, as {!Sim.Engine.events} returns them. *)
+val analyze : Sim.Event.t array -> finding list
+(** Events oldest-first, as {!Sim.Engine.events} returns them.  One
+    pass over the array builds per-object indices (arrival-order arrays
+    plus receive/wake counts); every rule then works off those indices,
+    so the whole analysis is O(n log n) in the stream length plus the
+    per-object pairwise send check — the detector never rescans the
+    stream. *)
 
 val pp_finding : Format.formatter -> finding -> unit

@@ -42,6 +42,7 @@ type result = {
   r_races : Analysis.Races.finding list;
   r_detail : string;
   r_duration : Time.t;
+  r_events_hash : int64;
 }
 
 let case_name c =
@@ -54,28 +55,38 @@ let soda_only (module W : BW.WORLD) run = if W.name = "soda" then Some (run ()) 
 
 let scenarios :
     (string
-    * (seed:int -> policy:Engine.policy -> (module BW.WORLD) -> S.outcome option))
+    * (seed:int ->
+      policy:Engine.policy ->
+      legacy_trace:bool ->
+      (module BW.WORLD) ->
+      S.outcome option))
     list =
   [
     ( "move",
-      fun ~seed ~policy w -> Some (S.simultaneous_move ~seed ~policy w) );
+      fun ~seed ~policy ~legacy_trace w ->
+        Some (S.simultaneous_move ~seed ~policy ~legacy_trace w) );
     ( "enclosures",
-      fun ~seed ~policy w ->
-        Some (S.enclosure_protocol ~seed ~policy ~n_encl:3 w) );
+      fun ~seed ~policy ~legacy_trace w ->
+        Some (S.enclosure_protocol ~seed ~policy ~legacy_trace ~n_encl:3 w) );
     ( "cross-request",
-      fun ~seed ~policy w -> Some (S.cross_request ~seed ~policy w) );
+      fun ~seed ~policy ~legacy_trace w ->
+        Some (S.cross_request ~seed ~policy ~legacy_trace w) );
     ( "open-close",
-      fun ~seed ~policy w -> Some (S.open_close_race ~seed ~policy w) );
+      fun ~seed ~policy ~legacy_trace w ->
+        Some (S.open_close_race ~seed ~policy ~legacy_trace w) );
     ( "lost-enclosure",
-      fun ~seed ~policy w -> Some (S.lost_enclosure ~seed ~policy w) );
+      fun ~seed ~policy ~legacy_trace w ->
+        Some (S.lost_enclosure ~seed ~policy ~legacy_trace w) );
     ( "bounced-enclosure",
-      fun ~seed ~policy w -> Some (S.bounced_enclosure ~seed ~policy w) );
+      fun ~seed ~policy ~legacy_trace w ->
+        Some (S.bounced_enclosure ~seed ~policy ~legacy_trace w) );
     ( "hint-repair",
-      fun ~seed ~policy w ->
-        soda_only w (fun () -> S.soda_hint_repair ~seed ~policy ()) );
+      fun ~seed ~policy ~legacy_trace w ->
+        soda_only w (fun () -> S.soda_hint_repair ~seed ~policy ~legacy_trace ()) );
     ( "pair-pressure",
-      fun ~seed ~policy w ->
-        soda_only w (fun () -> S.soda_pair_pressure ~seed ~policy ()) );
+      fun ~seed ~policy ~legacy_trace w ->
+        soda_only w (fun () ->
+            S.soda_pair_pressure ~seed ~policy ~legacy_trace ()) );
   ]
 
 let scenario_names = List.map fst scenarios
@@ -83,12 +94,13 @@ let scenario_names = List.map fst scenarios
 let backend_names =
   List.map (fun (module W : BW.WORLD) -> W.name) BW.all
 
-let run_outcome case =
+let run_outcome ?(legacy_trace = true) case =
   match List.assoc_opt case.c_scenario scenarios with
   | None -> invalid_arg (Printf.sprintf "unknown scenario %S" case.c_scenario)
   | Some runner ->
     runner ~seed:case.c_seed
       ~policy:(engine_policy case.c_policy ~seed:case.c_seed)
+      ~legacy_trace
       (BW.find_exn case.c_backend)
 
 let assess case (o : S.outcome) =
@@ -99,11 +111,13 @@ let assess case (o : S.outcome) =
     r_races = Analysis.Races.analyze o.S.o_view.Engine.v_events;
     r_detail = o.S.o_detail;
     r_duration = o.S.o_duration;
+    r_events_hash = o.S.o_view.Engine.v_events_hash;
   }
 
-let run_case case = Option.map (assess case) (run_outcome case)
+let run_case ?legacy_trace case =
+  Option.map (assess case) (run_outcome ?legacy_trace case)
 
-let sweep ?(scenarios = scenario_names) ?(backends = backend_names)
+let cases ?(scenarios = scenario_names) ?(backends = backend_names)
     ?(seeds = [ 1; 2; 3; 4; 5 ]) ?(policies = [ Fifo; Random ]) () =
   List.concat_map
     (fun c_scenario ->
@@ -111,13 +125,23 @@ let sweep ?(scenarios = scenario_names) ?(backends = backend_names)
         (fun c_backend ->
           List.concat_map
             (fun c_seed ->
-              List.filter_map
-                (fun c_policy ->
-                  run_case { c_scenario; c_backend; c_seed; c_policy })
+              List.map
+                (fun c_policy -> { c_scenario; c_backend; c_seed; c_policy })
                 policies)
             seeds)
         backends)
     scenarios
+
+(* Each case owns a private engine and stats table, so cases are
+   embarrassingly parallel; the pool preserves input order, which makes
+   the aggregated result list — and anything rendered from it —
+   byte-identical at every [jobs] count.  Sweep cases skip the legacy
+   string trace: nothing downstream of a sweep reads it, and the sweep
+   is the hot path the emit-side rendering cost was hurting. *)
+let sweep ?(jobs = 1) ?scenarios ?backends ?seeds ?policies () =
+  cases ?scenarios ?backends ?seeds ?policies ()
+  |> Parallel.Pool.map_list ~jobs (run_case ~legacy_trace:false)
+  |> List.filter_map Fun.id
 
 let failed r = (not r.r_ok) || r.r_violations <> [] || r.r_races <> []
 let failures results = List.filter failed results

@@ -35,6 +35,10 @@ type result = {
       (** happens-before race findings over the run's event stream *)
   r_detail : string;
   r_duration : Sim.Time.t;
+  r_events_hash : int64;
+      (** FNV fingerprint of the run's full event stream — the cheap
+          determinism comparator that works even with the legacy string
+          trace disabled *)
 }
 
 val scenario_names : string list
@@ -47,15 +51,28 @@ val backend_names : string list
 val case_name : case -> string
 (** ["scenario/backend/seed/policy"] — the repro handle. *)
 
-val run_case : case -> result option
-(** [None] when the scenario does not apply to the backend. *)
+val run_case : ?legacy_trace:bool -> case -> result option
+(** [None] when the scenario does not apply to the backend.
+    [legacy_trace] (default true) is forwarded to the engine; batch
+    paths pass [false] to skip the string-trace rendering on the emit
+    hot path — race findings and invariant verdicts are unaffected. *)
 
 val assess : case -> Harness.Scenarios.outcome -> result
 (** Judge an already-obtained outcome as if [run_case] had produced it —
     the hook test fixtures use to feed deliberately broken outcomes
     through the same reporting path. *)
 
+val cases :
+  ?scenarios:string list ->
+  ?backends:string list ->
+  ?seeds:int list ->
+  ?policies:policy_kind list ->
+  unit ->
+  case list
+(** The case product {!sweep} runs, in sweep order. *)
+
 val sweep :
+  ?jobs:int ->
   ?scenarios:string list ->
   ?backends:string list ->
   ?seeds:int list ->
@@ -64,7 +81,10 @@ val sweep :
   result list
 (** The full product of scenarios x backends x seeds x policies
     (defaults: all scenarios, the three primary backends, seeds 1-5,
-    [Fifo] and [Random]), minus inapplicable combinations. *)
+    [Fifo] and [Random]), minus inapplicable combinations.  [jobs]
+    (default 1) runs cases on a domain pool; every case owns a private
+    engine, and results keep sweep order, so the returned list — and
+    any report derived from it — is identical at every [jobs] count. *)
 
 val failures : result list -> result list
 (** Results that violated an invariant, raced, or missed the scenario's

@@ -43,8 +43,8 @@ let link l = Lynx.Value.Link l
     them {e simultaneously} — A gives its end to B, D gives its end to
     C.  What used to connect A to D must now connect B to C, proven by a
     B->C call over the moved link. *)
-let simultaneous_move ?(seed = 42) ?policy (module W : WORLD) : outcome =
-  let eng = Engine.create ~seed ?policy () in
+let simultaneous_move ?(seed = 42) ?policy ?legacy_trace (module W : WORLD) : outcome =
+  let eng = Engine.create ~seed ?policy ?legacy_trace () in
   let w = W.create eng ~nodes:6 in
   let sts = W.stats w in
   let result = ref "not finished" in
@@ -127,9 +127,9 @@ let simultaneous_move ?(seed = 42) ?policy (module W : WORLD) : outcome =
     Charlotte the kernel-message count grows with the enclosure count
     (first packet, goahead, enc packets); under SODA and Chrysalis it
     does not. *)
-let enclosure_protocol ?(seed = 42) ?policy ~n_encl (module W : WORLD) :
+let enclosure_protocol ?(seed = 42) ?policy ?legacy_trace ~n_encl (module W : WORLD) :
     outcome =
-  let eng = Engine.create ~seed ?policy () in
+  let eng = Engine.create ~seed ?policy ?legacy_trace () in
   let w = W.create eng ~nodes:4 in
   let sts = W.stats w in
   let ok = ref false in
@@ -174,8 +174,8 @@ let enclosure_protocol ?(seed = 42) ?policy ~n_encl (module W : WORLD) :
     request unintentionally and must bounce it with [Forbid] (it cannot
     stop receiving — it still wants the reply), then [Allow] it once it
     is willing.  On SODA and Chrysalis nothing is ever bounced. *)
-let cross_request ?(seed = 42) ?policy (module W : WORLD) : outcome =
-  let eng = Engine.create ~seed ?policy () in
+let cross_request ?(seed = 42) ?policy ?legacy_trace (module W : WORLD) : outcome =
+  let eng = Engine.create ~seed ?policy ?legacy_trace () in
   let w = W.create eng ~nodes:4 in
   let sts = W.stats w in
   let a_done = ref false and b_done = ref false in
@@ -229,8 +229,8 @@ let cross_request ?(seed = 42) ?policy (module W : WORLD) : outcome =
     again before reaching a block point; B requests in the window.  The
     cancel fails, A receives the unwanted request and returns it with
     [Retry]; the kernel delays B's retransmission until A reopens. *)
-let open_close_race ?(seed = 42) ?policy (module W : WORLD) : outcome =
-  let eng = Engine.create ~seed ?policy () in
+let open_close_race ?(seed = 42) ?policy ?legacy_trace (module W : WORLD) : outcome =
+  let eng = Engine.create ~seed ?policy ?legacy_trace () in
   let w = W.create eng ~nodes:4 in
   let sts = W.stats w in
   let served = ref false and b_done = ref false in
@@ -285,8 +285,8 @@ let open_close_race ?(seed = 42) ?policy (module W : WORLD) : outcome =
     Chrysalis B never receives the unwanted message, so the enclosure
     survives ([far_end_died] stays false and the failed send recovers
     the end). *)
-let lost_enclosure ?(seed = 42) ?policy (module W : WORLD) : outcome =
-  let eng = Engine.create ~seed ?policy () in
+let lost_enclosure ?(seed = 42) ?policy ?legacy_trace (module W : WORLD) : outcome =
+  let eng = Engine.create ~seed ?policy ?legacy_trace () in
   let w = W.create eng ~nodes:4 in
   let sts = W.stats w in
   let far_end_died = ref false
@@ -351,8 +351,8 @@ let lost_enclosure ?(seed = 42) ?policy (module W : WORLD) : outcome =
     as the loss rate rises the freeze/unfreeze absolute search (§4.2)
     takes over.  Returns the usual outcome; the counters of interest
     are [lynx_soda.discover_attempts] and [lynx_soda.freeze_searches]. *)
-let soda_hint_repair ?(seed = 42) ?policy ?(broadcast_loss = 0.05) () : outcome =
-  let eng = Engine.create ~seed ?policy () in
+let soda_hint_repair ?(seed = 42) ?policy ?legacy_trace ?(broadcast_loss = 0.05) () : outcome =
+  let eng = Engine.create ~seed ?policy ?legacy_trace () in
   let w =
     Lynx_soda.World.create
       ~kernel_costs:{ Soda.Costs.default with Soda.Costs.broadcast_loss }
@@ -425,8 +425,8 @@ let soda_hint_repair ?(seed = 42) ?policy ?(broadcast_loss = 0.05) () : outcome 
     bounce (retry or forbid) must return the enclosure to the sender,
     which retransmits; the end must arrive intact once the receiver
     becomes willing.  Under SODA/Chrysalis the message simply waits. *)
-let bounced_enclosure ?(seed = 42) ?policy (module W : WORLD) : outcome =
-  let eng = Engine.create ~seed ?policy () in
+let bounced_enclosure ?(seed = 42) ?policy ?legacy_trace (module W : WORLD) : outcome =
+  let eng = Engine.create ~seed ?policy ?legacy_trace () in
   let w = W.create eng ~nodes:4 in
   let sts = W.stats w in
   let delivered = ref false and pong = ref false in
@@ -486,9 +486,9 @@ let bounced_enclosure ?(seed = 42) ?policy (module W : WORLD) : outcome =
     kernel's per-pair outstanding-request limit and the data puts
     starve — the deadlock the paper warns about.  [o_ok] reports
     whether {e all} calls completed; [o_detail] has the tally. *)
-let soda_pair_pressure ?(seed = 42) ?policy ?(budget = true) ?(n_links = 6)
+let soda_pair_pressure ?(seed = 42) ?policy ?legacy_trace ?(budget = true) ?(n_links = 6)
     ?(deadline = Time.sec 2) () : outcome =
-  let eng = Engine.create ~seed ?policy () in
+  let eng = Engine.create ~seed ?policy ?legacy_trace () in
   let w = Lynx_soda.World.create ~signal_budget:budget eng ~nodes:4 in
   let sts = Lynx_soda.World.stats w in
   let completed = ref 0 in

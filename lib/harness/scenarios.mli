@@ -22,7 +22,11 @@ val counter : outcome -> string -> int
     (0 if absent). *)
 
 val simultaneous_move :
-  ?seed:int -> ?policy:Sim.Engine.policy -> (module WORLD) -> outcome
+  ?seed:int ->
+  ?policy:Sim.Engine.policy ->
+  ?legacy_trace:bool ->
+  (module WORLD) ->
+  outcome
 (** Figure 1: A and D hold the two ends of one link and move them at the
     same instant (A's end to B, D's end to C); a B->C call over the
     moved link proves it survived. *)
@@ -30,6 +34,7 @@ val simultaneous_move :
 val enclosure_protocol :
   ?seed:int ->
   ?policy:Sim.Engine.policy ->
+  ?legacy_trace:bool ->
   n_encl:int ->
   (module WORLD) ->
   outcome
@@ -38,25 +43,41 @@ val enclosure_protocol :
     [n_encl]; under SODA and Chrysalis it does not. *)
 
 val cross_request :
-  ?seed:int -> ?policy:Sim.Engine.policy -> (module WORLD) -> outcome
+  ?seed:int ->
+  ?policy:Sim.Engine.policy ->
+  ?legacy_trace:bool ->
+  (module WORLD) ->
+  outcome
 (** §3.2.1, first case: B requests an operation in the reverse direction
     before replying, while A's request queue is closed.  Charlotte must
     bounce it with [Forbid]/[Allow]. *)
 
 val open_close_race :
-  ?seed:int -> ?policy:Sim.Engine.policy -> (module WORLD) -> outcome
+  ?seed:int ->
+  ?policy:Sim.Engine.policy ->
+  ?legacy_trace:bool ->
+  (module WORLD) ->
+  outcome
 (** §3.2.1, second case: A opens and closes its request queue before a
     block point while B's request is in flight; the failed [Cancel]
     delivers an unwanted message that Charlotte returns with [Retry]. *)
 
 val lost_enclosure :
-  ?seed:int -> ?policy:Sim.Engine.policy -> (module WORLD) -> outcome
+  ?seed:int ->
+  ?policy:Sim.Engine.policy ->
+  ?legacy_trace:bool ->
+  (module WORLD) ->
+  outcome
 (** §3.2.2: B receives a request (enclosing an end) it never wanted and
     dies before bouncing it.  Under Charlotte the end is lost; under
     SODA and Chrysalis the failed send recovers it. *)
 
 val bounced_enclosure :
-  ?seed:int -> ?policy:Sim.Engine.policy -> (module WORLD) -> outcome
+  ?seed:int ->
+  ?policy:Sim.Engine.policy ->
+  ?legacy_trace:bool ->
+  (module WORLD) ->
+  outcome
 (** An unwanted request carrying a link end: under Charlotte the bounce
     returns the enclosure and the retransmission delivers it once the
     receiver is willing; under SODA/Chrysalis the message just waits.
@@ -65,6 +86,7 @@ val bounced_enclosure :
 val soda_pair_pressure :
   ?seed:int ->
   ?policy:Sim.Engine.policy ->
+  ?legacy_trace:bool ->
   ?budget:bool ->
   ?n_links:int ->
   ?deadline:Sim.Time.t ->
@@ -78,6 +100,7 @@ val soda_pair_pressure :
 val soda_hint_repair :
   ?seed:int ->
   ?policy:Sim.Engine.policy ->
+  ?legacy_trace:bool ->
   ?broadcast_loss:float ->
   unit ->
   outcome

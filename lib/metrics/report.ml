@@ -3,6 +3,32 @@
 
 type cell = string
 
+(* Print sink.  Report output normally goes straight to stdout, but the
+   bench harness runs experiments on worker domains whose output must
+   not interleave; each domain can redirect its own report lines into a
+   private buffer with [with_sink] and print the buffer afterwards.
+   Domain-local state keeps redirection on one domain from affecting
+   another. *)
+let sink : Buffer.t option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let print_string s =
+  match !(Domain.DLS.get sink) with
+  | None -> Stdlib.print_string s
+  | Some buf -> Buffer.add_string buf s
+
+let print_endline s =
+  print_string s;
+  print_string "\n"
+
+let printf fmt = Printf.ksprintf print_string fmt
+
+let with_sink buf f =
+  let cell = Domain.DLS.get sink in
+  let saved = !cell in
+  cell := Some buf;
+  Fun.protect ~finally:(fun () -> cell := saved) f
+
 let rule widths =
   "+"
   ^ String.concat "+" (List.map (fun w -> String.make (w + 2) '-') widths)
@@ -54,9 +80,8 @@ let within ~pct ~paper ~measured =
 
 let check_line ~label ~pct ~paper ~measured =
   let ok = within ~pct ~paper ~measured in
-  Printf.printf "  %-44s %s  %s\n" label (vs_paper ~paper ~measured)
+  printf "  %-44s %s  %s\n" label (vs_paper ~paper ~measured)
     (if ok then "[ok]" else "[MISMATCH]");
   ok
 
-let section title =
-  Printf.printf "\n=== %s ===\n" title
+let section title = printf "\n=== %s ===\n" title

@@ -1,0 +1,57 @@
+(* Fixed-batch domain pool.
+
+   The job set is known up front, so no work-stealing machinery is
+   needed: workers race on one atomic cursor into the job array and
+   write results by index.  Output order is therefore the input order
+   regardless of how the domains interleave — the property the explore
+   driver's byte-identical-report guarantee rests on.
+
+   Jobs must not share mutable state (each sweep case owns a private
+   engine and stats table) and must not print: collect, then report. *)
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let run ?jobs (fs : (unit -> 'a) array) : 'a array =
+  let n = Array.length fs in
+  let jobs =
+    match jobs with None -> default_jobs () | Some j -> max 1 j
+  in
+  let jobs = min jobs n in
+  if n = 0 then [||]
+  else if jobs <= 1 then Array.map (fun f -> f ()) fs
+  else begin
+    let results : ('a, exn * Printexc.raw_backtrace) result option array =
+      Array.make n None
+    in
+    let cursor = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add cursor 1 in
+        if i < n then begin
+          (results.(i) <-
+            Some
+              (match fs.(i) () with
+              | v -> Ok v
+              | exception e -> Error (e, Printexc.get_raw_backtrace ())));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join domains;
+    (* Re-raise the lowest-indexed failure so the error a parallel run
+       reports is the same one the sequential run would have hit first. *)
+    Array.map
+      (function
+        | Some (Ok v) -> v
+        | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+        | None -> assert false)
+      results
+  end
+
+let map ?jobs f items = run ?jobs (Array.map (fun x () -> f x) items)
+
+let map_list ?jobs f items =
+  Array.to_list (map ?jobs f (Array.of_list items))

@@ -1,0 +1,24 @@
+(** Fixed-batch multicore job pool.
+
+    [jobs - 1] extra domains plus the caller drain a shared job array
+    through one atomic cursor; results land at their job's index, so
+    output order equals input order no matter how execution interleaves.
+    This is what lets the explore sweep promise byte-identical reports
+    at any [-j].
+
+    Jobs must be self-contained: no shared mutable state (every sweep
+    case owns a private engine) and no printing (collect first, report
+    after).  If any job raises, the lowest-indexed exception is
+    re-raised after all domains have joined — the same error a
+    sequential run would have surfaced first. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val run : ?jobs:int -> (unit -> 'a) array -> 'a array
+(** Runs every thunk, using [jobs] domains in total (default
+    {!default_jobs}, clamped to at least 1 and at most the job count).
+    [jobs <= 1] runs inline with no domain spawned at all. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+val map_list : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list

@@ -23,7 +23,7 @@ type t = {
   mutable now : Time.t;
   mutable seq : int;
   mutable next_fid : int;
-  tasks : (unit -> unit) Heap.t;
+  tasks : Taskq.t;
   mutable fibers : fiber list;
   mutable current : fiber option;
   mutable stopped : bool;
@@ -33,16 +33,21 @@ type t = {
   policy : policy;
   sched_rng : Rng.t;
   trace_buf : Trace.t;
+  legacy_trace : bool;
   (* Causality state.  [amb_clock] is the clock of the task currently
-     running in scheduler context; every queued task captures the clock
-     of whoever enqueued it and restores it here when it runs, so
-     causality flows through timed hops and wakers without the sync
-     primitives knowing about clocks at all. *)
+     running in scheduler context; every queued task carries the clock
+     of whoever enqueued it (inline in its [Taskq.entry]) and the drain
+     loop restores it here before the task runs, so causality flows
+     through timed hops and wakers without the sync primitives knowing
+     about clocks at all. *)
   mutable amb_clock : Vclock.t;
-  mutable events : Event.t list;  (* newest first *)
-  mutable n_events : int;
+  (* Structured event log: a growable array, oldest first.  No per-event
+     list cell, and O(1) drop accounting once [event_cap] is reached. *)
+  mutable ev_arr : Event.t array;
+  mutable ev_len : int;
   event_cap : int;
   mutable events_dropped : int;
+  mutable events_hash : int;
   stamps : (string, Vclock.t) Hashtbl.t;
 }
 
@@ -52,8 +57,15 @@ type 'a waker = ('a, exn) result -> unit
 
 type _ Effect.t += Suspend_with : string * ((('a, exn) result -> unit) -> unit) -> 'a Effect.t
 
+(* Sleeping is by far the most common suspension, and the generic waker
+   path costs it a second queue round-trip (the timer task enqueues the
+   continuation).  [Sleep_for] resumes the fiber directly in the timer
+   task: same timestamp, same Block event, same causality (the entry
+   carries the fiber's own clock back), half the queue traffic. *)
+type _ Effect.t += Sleep_for : Time.t -> unit Effect.t
+
 let create ?(seed = 42) ?(policy = Fifo) ?trace_capacity
-    ?(event_capacity = 200_000) ?(on_crash = `Raise) () =
+    ?(event_capacity = 200_000) ?(legacy_trace = true) ?(on_crash = `Raise) () =
   let sched_seed =
     match policy with
     | Fifo -> 0
@@ -64,7 +76,7 @@ let create ?(seed = 42) ?(policy = Fifo) ?trace_capacity
     now = Time.zero;
     seq = 0;
     next_fid = 0;
-    tasks = Heap.create ();
+    tasks = Taskq.create ();
     fibers = [];
     current = None;
     stopped = false;
@@ -74,11 +86,13 @@ let create ?(seed = 42) ?(policy = Fifo) ?trace_capacity
     policy;
     sched_rng = Rng.create sched_seed;
     trace_buf = Trace.create ?capacity:trace_capacity ();
+    legacy_trace;
     amb_clock = Vclock.empty;
-    events = [];
-    n_events = 0;
+    ev_arr = [||];
+    ev_len = 0;
     event_cap = event_capacity;
     events_dropped = 0;
+    events_hash = 0x0bf29ce484222325;
     stamps = Hashtbl.create 64;
   }
 
@@ -88,9 +102,16 @@ let policy t = t.policy
 let trace t = t.trace_buf
 
 (* The clock of "whoever is acting right now": the running fiber's, or
-   the ambient clock restored by the task wrapper in scheduler context. *)
+   the ambient clock restored by the drain loop in scheduler context. *)
 let current_clock t =
   match t.current with Some f -> f.clock | None -> t.amb_clock
+
+let grow_events t =
+  let cap = Array.length t.ev_arr in
+  let ncap = min t.event_cap (if cap = 0 then 256 else cap * 2) in
+  let narr = Array.make ncap t.ev_arr.(0) in
+  Array.blit t.ev_arr 0 narr 0 t.ev_len;
+  t.ev_arr <- narr
 
 (* Events emitted by a fiber tick its component so successive events are
    strictly ordered.  Scheduler-context events only snapshot the ambient
@@ -105,18 +126,45 @@ let emit t kind =
     | None -> (t.amb_clock, -1)
   in
   let ev = { Event.ev_time = t.now; ev_fiber = fid; ev_clock = clock; ev_kind = kind } in
-  if t.n_events < t.event_cap then begin
-    t.events <- ev :: t.events;
-    t.n_events <- t.n_events + 1
+  if t.ev_len < t.event_cap then begin
+    if t.ev_len = Array.length t.ev_arr then
+      if t.ev_len = 0 then t.ev_arr <- Array.make 256 ev else grow_events t;
+    t.ev_arr.(t.ev_len) <- ev;
+    t.ev_len <- t.ev_len + 1
   end
   else t.events_dropped <- t.events_dropped + 1;
-  match Event.legacy_render ev with
-  | Some msg -> Trace.record t.trace_buf t.now msg
-  | None -> ()
+  (* FNV-style word fold in native ints: the byte-wise int64 variant in
+     [Trace] costs 24 boxed multiplications per event, which dominates
+     the emit path.  This fingerprint is new in this log format and has
+     no stored-hash compatibility to honour. *)
+  let fold h i = (h lxor i) * 0x100000001B3 in
+  t.events_hash <-
+    fold (fold (fold t.events_hash (Time.to_ns t.now)) fid)
+      (Event.kind_tag kind);
+  if t.legacy_trace then
+    match Event.legacy_render ev with
+    | Some msg -> Trace.record t.trace_buf t.now msg
+    | None -> ()
 
 let record t msg = emit t (Event.Note msg)
-let events t = List.rev t.events
+
+(* Trim-to-fit once, then share: the first call after a run shrinks the
+   backing array to the live prefix and every later call returns it
+   without copying.  Appending after a snapshot is safe — the full
+   array forces the grow path, which copies. *)
+let events t =
+  if Array.length t.ev_arr <> t.ev_len then
+    t.ev_arr <- Array.sub t.ev_arr 0 t.ev_len;
+  t.ev_arr
+
+let iter_events t f =
+  let arr = t.ev_arr in
+  for i = 0 to t.ev_len - 1 do
+    f arr.(i)
+  done
+
 let events_dropped t = t.events_dropped
+let events_hash t = Int64.of_int t.events_hash
 
 let stamp t key = Hashtbl.replace t.stamps key (current_clock t)
 
@@ -136,24 +184,21 @@ let adopt t key =
    execution time by a bounded random amount instead, exploring timing
    races across nearby (not just equal) timestamps. *)
 let enqueue t time task =
-  (* Capture the enqueuer's clock; the task restores it as the ambient
-     clock when it runs, carrying causality across the timed hop. *)
+  (* The enqueuer's clock rides inline in the queue entry; the drain
+     loop restores it as the ambient clock when the task runs, carrying
+     causality across the timed hop without a per-enqueue closure. *)
   let clk = current_clock t in
-  let task () =
-    t.amb_clock <- clk;
-    task ()
-  in
   let seq = t.seq in
   t.seq <- seq + 1;
   match t.policy with
-  | Fifo -> Heap.add t.tasks ~time:(Time.to_ns time) ~seq task
+  | Fifo -> Taskq.add t.tasks ~time:(Time.to_ns time) ~seq ~clk task
   | Random_order _ ->
-    Heap.add t.tasks ~time:(Time.to_ns time)
+    Taskq.add t.tasks ~time:(Time.to_ns time)
       ~seq:(Rng.int t.sched_rng 0x3FFFFFFF)
-      task
+      ~clk task
   | Delay_jitter { bound; _ } ->
     let j = Rng.int t.sched_rng (Time.to_ns bound + 1) in
-    Heap.add t.tasks ~time:(Time.to_ns time + j) ~seq task
+    Taskq.add t.tasks ~time:(Time.to_ns time + j) ~seq ~clk task
 
 let schedule_at t time task =
   if Time.(time < t.now) then
@@ -202,6 +247,18 @@ let effc : type b. t -> fiber -> b Effect.t -> ((b, unit) Effect.Deep.continuati
           end
         in
         register waker)
+  | Sleep_for d ->
+    Some
+      (fun (k : (b, unit) Effect.Deep.continuation) ->
+        fiber.state <- Blocked "sleep";
+        emit t (Event.Block { reason = "sleep" });
+        schedule_after t d (fun () ->
+            let prev = t.current in
+            t.current <- Some fiber;
+            fiber.state <- Runnable;
+            fiber.clock <- Vclock.merge fiber.clock t.amb_clock;
+            Effect.Deep.continue k ();
+            t.current <- prev))
   | _ -> None
 
 let spawn t ?(name = "fiber") ?(daemon = false) f =
@@ -235,8 +292,9 @@ let suspend t ?(reason = "wait") register =
   | Some _ -> Effect.perform (Suspend_with (reason, register))
 
 let sleep t d =
-  suspend t ~reason:"sleep" (fun waker ->
-      schedule_after t d (fun () -> waker (Ok ())))
+  match t.current with
+  | None -> invalid_arg "Engine.suspend: not inside a fiber"
+  | Some _ -> Effect.perform (Sleep_for d)
 
 let yield t =
   suspend t ~reason:"yield" (fun waker ->
@@ -275,14 +333,15 @@ type view = {
   v_trace : (Time.t * string) list;  (** most recent trace window *)
   v_trace_hash : int64;
   v_trace_count : int;
-  v_events : Event.t list;  (** structured event log, oldest first *)
+  v_events : Event.t array;  (** structured event log, oldest first *)
+  v_events_hash : int64;  (** incremental fingerprint of the full stream *)
   v_events_dropped : int;  (** events lost to the capacity cap *)
 }
 
 let view ?(trace_window = 64) t =
   {
     v_now = t.now;
-    v_pending = Heap.length t.tasks;
+    v_pending = Taskq.length t.tasks;
     v_blocked = blocked_fibers t;
     v_fibers =
       List.rev_map
@@ -300,23 +359,25 @@ let view ?(trace_window = 64) t =
     v_trace_hash = Trace.hash t.trace_buf;
     v_trace_count = Trace.count t.trace_buf;
     v_events = events t;
+    v_events_hash = Int64.of_int t.events_hash;
     v_events_dropped = t.events_dropped;
   }
 
 let drain t ~limit =
   let continue = ref true in
   while !continue && not t.stopped do
-    match Heap.peek_time t.tasks with
+    match Taskq.peek_time t.tasks with
     | None -> continue := false
     | Some time_ns ->
       (match limit with
       | Some l when time_ns > Time.to_ns l -> continue := false
       | _ -> (
-        match Heap.pop t.tasks with
+        match Taskq.pop t.tasks with
         | None -> continue := false
-        | Some (time_ns, _seq, task) ->
-          t.now <- Time.ns time_ns;
-          task ()))
+        | Some e ->
+          t.now <- Time.ns e.Taskq.time;
+          t.amb_clock <- e.Taskq.clk;
+          e.Taskq.fn ()))
   done
 
 let check_crashes t =

@@ -37,6 +37,7 @@ val create :
   ?policy:policy ->
   ?trace_capacity:int ->
   ?event_capacity:int ->
+  ?legacy_trace:bool ->
   ?on_crash:[ `Raise | `Record ] ->
   unit ->
   t
@@ -44,7 +45,12 @@ val create :
     initialises the root RNG.  [policy] (default {!Fifo}) selects the
     scheduling policy; the scheduler draws from its own RNG, so the root
     RNG stream — and therefore all model-level randomness — is identical
-    across policies. *)
+    across policies.  [legacy_trace] (default true) controls whether
+    legacy event kinds are also rendered into the string trace; batch
+    drivers (explore sweeps, race scans) disable it to keep the emit
+    path allocation-light, at the cost of an empty string trace
+    ({!view}'s [v_trace] fields become vacuous).  The structured event
+    log and {!events_hash} are unaffected either way. *)
 
 val now : t -> Time.t
 val rng : t -> Rng.t
@@ -72,11 +78,24 @@ val emit : t -> Event.kind -> unit
     ([Spawn]/[Crash]/[Note]) are also rendered into the string trace;
     the new kinds are not, so the legacy stream is unperturbed. *)
 
-val events : t -> Event.t list
-(** All structured events so far, oldest first. *)
+val events : t -> Event.t array
+(** All structured events so far, oldest first.  The first call after a
+    run trims the internal buffer to size and returns it; later calls
+    (and {!view} snapshots) share the same array without copying.
+    Treat it as read-only. *)
+
+val iter_events : t -> (Event.t -> unit) -> unit
+(** Iterates the structured log oldest-first without materialising
+    anything. *)
 
 val events_dropped : t -> int
 (** Events discarded after [event_capacity] (default 200k) was hit. *)
+
+val events_hash : t -> int64
+(** Incremental FNV-1a fingerprint of the full structured stream
+    (time, fiber id and kind tag of every event, in order) — the
+    determinism comparator that works even with [legacy_trace] off.
+    Maintained in O(1) per event with no rendering. *)
 
 val stamp : t -> string -> unit
 (** [stamp t key] saves the current clock under [key] — called where a
@@ -148,7 +167,8 @@ type view = {
   v_trace : (Time.t * string) list;  (** most recent trace window *)
   v_trace_hash : int64;
   v_trace_count : int;
-  v_events : Event.t list;  (** structured event log, oldest first *)
+  v_events : Event.t array;  (** structured event log, oldest first *)
+  v_events_hash : int64;  (** incremental fingerprint of the full stream *)
   v_events_dropped : int;  (** events lost to the capacity cap *)
 }
 

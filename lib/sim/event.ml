@@ -41,6 +41,22 @@ let legacy_render t =
   | Link_move _ ->
     None
 
+(* Stable small integers for the cheap event-stream fingerprint the
+   engine folds incrementally; changing an existing tag invalidates
+   stored hashes. *)
+let kind_tag = function
+  | Spawn _ -> 0
+  | Crash _ -> 1
+  | Note _ -> 2
+  | Block _ -> 3
+  | Send _ -> 4
+  | Receive _ -> 5
+  | Signal { woke = false; _ } -> 6
+  | Signal { woke = true; _ } -> 7
+  | Signal_seen _ -> 8
+  | Wait _ -> 9
+  | Link_move _ -> 10
+
 let kind_to_string = function
   | Spawn { fid; name } -> Printf.sprintf "spawn #%d %s" fid name
   | Crash { fid; name; error } ->

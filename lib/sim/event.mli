@@ -40,6 +40,11 @@ type t = {
 val obj : t -> string option
 (** The kernel object an event is keyed by, if any. *)
 
+val kind_tag : kind -> int
+(** Stable small integer per kind (the two [Signal] polarities count as
+    distinct kinds), folded into the engine's incremental event-stream
+    hash without rendering anything. *)
+
 val legacy_render : t -> string option
 (** The string-trace line for legacy kinds ([Spawn]/[Crash]/[Note]),
     identical to what pre-structured versions recorded; [None] for the

@@ -65,4 +65,9 @@ let pop h =
 
 let peek_time h = if h.len = 0 then None else Some h.arr.(0).time
 
-let clear h = h.len <- 0
+(* Dropping the backing array (not just the length) matters: entries
+   past [len] would otherwise keep their payloads — often closures
+   capturing whole simulation worlds — reachable until overwritten. *)
+let clear h =
+  h.len <- 0;
+  h.arr <- [||]

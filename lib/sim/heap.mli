@@ -19,3 +19,6 @@ val peek_time : 'a t -> int option
 (** Key time of the minimum entry, without removing it. *)
 
 val clear : 'a t -> unit
+(** Empties the heap and releases the backing storage, so payloads
+    (frequently closures pinning large object graphs) become
+    collectable immediately. *)

@@ -6,6 +6,18 @@ type t = (int * int) list
 
 let empty = []
 
+(* Interned singleton clocks [{i -> 1}] for small fiber ids: the clock
+   every fresh fiber starts from.  Built once at module initialisation
+   (before any domain can be spawned) and immutable afterwards, so
+   sharing them across engines — and across domains in a parallel
+   sweep — is safe. *)
+let interned_singletons = Array.init 256 (fun i -> [ (i, 1) ])
+
+let singleton i =
+  if i >= 0 && i < Array.length interned_singletons then
+    interned_singletons.(i)
+  else [ (i, 1) ]
+
 let rec get t i =
   match t with
   | [] -> 0
@@ -13,19 +25,34 @@ let rec get t i =
 
 let rec tick t i =
   match t with
-  | [] -> [ (i, 1) ]
+  | [] -> singleton i
   | ((j, n) as hd) :: rest ->
     if j = i then (j, n + 1) :: rest
     else if j > i then (i, 1) :: t
     else hd :: tick rest i
 
+(* Maximal physical sharing: whenever one side dominates a suffix the
+   dominated suffix is returned as-is instead of being rebuilt.  The
+   common hot-path case — a waker merging an ambient clock the fiber
+   already knows about — then allocates nothing at all.  Results are
+   structurally identical to the naive pointwise maximum. *)
 let rec merge a b =
-  match (a, b) with
-  | [], c | c, [] -> c
-  | ((i, n) as ha) :: ra, ((j, m) as hb) :: rb ->
-    if i = j then (i, max n m) :: merge ra rb
-    else if i < j then ha :: merge ra b
-    else hb :: merge a rb
+  if a == b then a
+  else
+    match (a, b) with
+    | [], c | c, [] -> c
+    | ((i, n) as ha) :: ra, ((j, m) as hb) :: rb ->
+      if i = j then
+        let rest = merge ra rb in
+        if m >= n then if rest == rb then b else hb :: rest
+        else if rest == ra then a
+        else ha :: rest
+      else if i < j then
+        let rest = merge ra b in
+        if rest == ra then a else ha :: rest
+      else
+        let rest = merge a rb in
+        if rest == rb then b else hb :: rest
 
 let rec leq a b =
   match (a, b) with

@@ -16,6 +16,10 @@ let checks = Alcotest.check Alcotest.string
 let codes fs = List.sort_uniq compare (List.map (fun f -> f.L.f_code) fs)
 let rules fs = List.map (fun f -> f.R.r_rule) fs
 
+(* The detector takes the engine's array log; the synthetic streams
+   below are written as lists for readability. *)
+let analyze evs = R.analyze (Array.of_list evs)
+
 let proto ?(links = [ ("c.x", "s.x") ]) items =
   { Pr.p_name = "mini"; p_links = links; p_items = items }
 
@@ -194,7 +198,7 @@ let race_synth_tests =
         checkb "concurrent" true (Vclock.concurrent (clock_of 1) (clock_of 2));
         Alcotest.(check (list string))
           "rules" [ "R-MSG" ]
-          (rules (R.analyze events)));
+          (rules (analyze events)));
     Alcotest.test_case "R-MSG: causally ordered sends are clean" `Quick
       (fun () ->
         let c1 = clock_of 1 in
@@ -205,7 +209,7 @@ let race_synth_tests =
             ev ~fid:2 ~clock:(Some c2) (Event.Send { obj = "q"; op = "b" });
           ]
         in
-        checki "findings" 0 (List.length (R.analyze events)));
+        checki "findings" 0 (List.length (analyze events)));
     Alcotest.test_case "R-SIG: queued signal vs unserved concurrent wait"
       `Quick (fun () ->
         let events =
@@ -216,7 +220,7 @@ let race_synth_tests =
         in
         Alcotest.(check (list string))
           "rules" [ "R-SIG" ]
-          (rules (R.analyze events)));
+          (rules (analyze events)));
     Alcotest.test_case "R-SIG: served wait is not a lost signal" `Quick
       (fun () ->
         (* The wait was handed a datum by a woke=true enqueue; the later
@@ -230,7 +234,7 @@ let race_synth_tests =
               (Event.Signal { obj = "chry.dq1"; woke = false });
           ]
         in
-        checki "findings" 0 (List.length (R.analyze events)));
+        checki "findings" 0 (List.length (analyze events)));
     Alcotest.test_case "R-SIG: latched interrupt skipped by drain" `Quick
       (fun () ->
         let c1 = clock_of 1 in
@@ -248,7 +252,7 @@ let race_synth_tests =
            unmatched and concurrent with the drain. *)
         Alcotest.(check (list string))
           "rules" [ "R-SIG" ]
-          (rules (R.analyze events)));
+          (rules (analyze events)));
     Alcotest.test_case "R-MOVE: transfer races an unreceived message" `Quick
       (fun () ->
         let events =
@@ -259,7 +263,7 @@ let race_synth_tests =
         in
         Alcotest.(check (list string))
           "rules" [ "R-MOVE" ]
-          (rules (R.analyze events)));
+          (rules (analyze events)));
     Alcotest.test_case "R-MOVE: a received message is no race" `Quick
       (fun () ->
         let events =
@@ -269,7 +273,7 @@ let race_synth_tests =
             ev ~fid:3 (Event.Receive { obj = "cha.L9.s0.req"; op = "ping" });
           ]
         in
-        checki "findings" 0 (List.length (R.analyze events)));
+        checki "findings" 0 (List.length (analyze events)));
   ]
 
 (* ---- Race detector: shipped scenarios stay clean ----------------------- *)
@@ -307,12 +311,11 @@ let races_clean_tests =
 (* ---- Structured trace: legacy rendering and hashing -------------------- *)
 
 let rendered view =
-  List.filter_map
-    (fun e ->
-      match Event.legacy_render e with
-      | Some m -> Some (e.Event.ev_time, m)
-      | None -> None)
-    view.Engine.v_events
+  Array.to_list view.Engine.v_events
+  |> List.filter_map (fun e ->
+         match Event.legacy_render e with
+         | Some m -> Some (e.Event.ev_time, m)
+         | None -> None)
 
 let trace_compat_tests =
   List.map

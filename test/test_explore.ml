@@ -51,6 +51,51 @@ let test_sweep_jitter_green () =
   Alcotest.(check int) "no failures under jitter" 0
     (List.length (D.failures results))
 
+(* ---- the domain pool must be invisible in the results ---------------- *)
+
+let render_races rs =
+  String.concat "; "
+    (List.map (fun f -> Format.asprintf "%a" Analysis.Races.pp_finding f) rs)
+
+let test_parallel_matches_sequential () =
+  let seq = D.sweep ~jobs:1 ~seeds:[ 1; 2 ] () in
+  let par = D.sweep ~jobs:4 ~seeds:[ 1; 2 ] () in
+  Alcotest.(check int) "same count" (List.length seq) (List.length par);
+  List.iter2
+    (fun a b ->
+      let name = D.case_name a.D.r_case in
+      Alcotest.(check string) "case order" name (D.case_name b.D.r_case);
+      Alcotest.(check bool) (name ^ " verdict") a.D.r_ok b.D.r_ok;
+      Alcotest.(check string) (name ^ " detail") a.D.r_detail b.D.r_detail;
+      Alcotest.(check int) (name ^ " duration")
+        (Time.to_ns a.D.r_duration)
+        (Time.to_ns b.D.r_duration);
+      Alcotest.(check string) (name ^ " races") (render_races a.D.r_races)
+        (render_races b.D.r_races);
+      Alcotest.(check bool) (name ^ " events hash") true
+        (Int64.equal a.D.r_events_hash b.D.r_events_hash))
+    seq par;
+  (* ... and therefore anything rendered from them is byte-identical. *)
+  Alcotest.(check string) "summary identical" (D.summary seq) (D.summary par)
+
+let test_jobs_determinism () =
+  (* The full per-case verdict/race/fingerprint table at -j1, -j4 and
+     -j8: running with more workers than cases must change nothing. *)
+  let table jobs =
+    D.sweep ~jobs ~seeds:[ 1; 2 ] ()
+    |> List.map (fun r ->
+           Printf.sprintf "%s ok=%b races=[%s] hash=%016Lx"
+             (D.case_name r.D.r_case) r.D.r_ok (render_races r.D.r_races)
+             r.D.r_events_hash)
+  in
+  let reference = table 1 in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (list string))
+        (Printf.sprintf "-j%d table" jobs)
+        reference (table jobs))
+    [ 4; 8 ]
+
 let test_case_determinism () =
   let case =
     { D.c_scenario = "move"; c_backend = "soda"; c_seed = 3; c_policy = D.Random }
@@ -96,7 +141,8 @@ let broken_outcome =
       v_trace = [ (Time.ms 3, "late"); (Time.ms 1, "early") ];
       v_trace_hash = 0L;
       v_trace_count = 2;
-      v_events = [];
+      v_events = [||];
+      v_events_hash = 0L;
       v_events_dropped = 0;
     }
   in
@@ -295,6 +341,10 @@ let () =
             test_sweep_green;
           Alcotest.test_case "jitter policy stays green" `Quick
             test_sweep_jitter_green;
+          Alcotest.test_case "parallel sweep equals sequential sweep" `Quick
+            test_parallel_matches_sequential;
+          Alcotest.test_case "result tables identical at -j1/-j4/-j8" `Quick
+            test_jobs_determinism;
           Alcotest.test_case "a case replays identically" `Quick
             test_case_determinism;
           Alcotest.test_case "SODA-only scenarios skip other backends" `Quick

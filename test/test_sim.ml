@@ -103,6 +103,129 @@ let heap_property =
       let sorted = List.sort compare popped in
       popped = sorted)
 
+(* Interleaved adds and pops checked against a sorted-list model: after
+   any operation sequence the heap and the model agree on every pop,
+   including pops taken while later adds are still to come.  [true] ops
+   are adds (with a pseudo-random time), [false] ops are pops. *)
+let heap_model_property =
+  QCheck.Test.make ~name:"heap matches sorted-list model under add/pop mix"
+    ~count:300
+    QCheck.(list bool)
+    (fun ops ->
+      let h = Heap.create () in
+      let model = ref [] in
+      let seq = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun is_add ->
+          if is_add then begin
+            let time = !seq * 7919 mod 97 in
+            Heap.add h ~time ~seq:!seq !seq;
+            model := List.merge compare !model [ (time, !seq, !seq) ];
+            incr seq
+          end
+          else begin
+            (match (Heap.pop h, !model) with
+            | None, [] -> ()
+            | Some got, expect :: rest ->
+              if got <> expect then ok := false;
+              model := rest
+            | Some _, [] | None, _ :: _ -> ok := false);
+            if Heap.length h <> List.length !model then ok := false
+          end)
+        ops;
+      !ok)
+
+let heap_clear_tests =
+  [
+    Alcotest.test_case "clear empties and the heap stays usable" `Quick
+      (fun () ->
+        let h = Heap.create () in
+        for i = 0 to 99 do
+          Heap.add h ~time:i ~seq:i i
+        done;
+        Heap.clear h;
+        checki "len" 0 (Heap.length h);
+        checkb "empty pop" true (Heap.pop h = None);
+        Heap.add h ~time:7 ~seq:0 42;
+        checkb "reusable" true (Heap.pop h = Some (7, 0, 42)));
+    Alcotest.test_case "clear releases payload references" `Quick (fun () ->
+        (* A cleared heap must not pin its old payloads: the backing
+           store is dropped, so a dead payload can be collected.  The
+           weak pointer observes the payload disappearing. *)
+        let h = Heap.create () in
+        let w = Weak.create 1 in
+        let () =
+          let payload = ref 12345 in
+          Weak.set w 0 (Some payload);
+          Heap.add h ~time:1 ~seq:0 payload
+        in
+        Heap.clear h;
+        Gc.full_major ();
+        checkb "payload collected after clear" true (Weak.check w 0 = false))
+  ]
+
+(* ---- structured event log: array representation ----------------------- *)
+
+let event_log_tests =
+  [
+    Alcotest.test_case "events snapshot is shared, not re-copied" `Quick
+      (fun () ->
+        let e = Engine.create () in
+        ignore (Engine.spawn e (fun () -> Engine.sleep e (Time.ms 1)));
+        Engine.run e;
+        checkb "physically shared" true (Engine.events e == Engine.events e));
+    Alcotest.test_case "append after a snapshot leaves it intact" `Quick
+      (fun () ->
+        let e = Engine.create () in
+        Engine.record e "one";
+        let snap = Engine.events e in
+        let n = Array.length snap in
+        Engine.record e "two";
+        checki "snapshot untouched" n (Array.length snap);
+        checki "log advanced" (n + 1) (Array.length (Engine.events e)));
+    Alcotest.test_case "iter_events walks the same stream" `Quick (fun () ->
+        let e = Engine.create () in
+        ignore
+          (Engine.spawn e (fun () ->
+               for _ = 1 to 5 do
+                 Engine.sleep e (Time.ms 1)
+               done));
+        Engine.run e;
+        let seen = ref [] in
+        Engine.iter_events e (fun ev -> seen := ev :: !seen);
+        checkb "same events in order" true
+          (List.rev !seen = Array.to_list (Engine.events e)));
+    Alcotest.test_case "legacy_trace:false keeps events and hash" `Quick
+      (fun () ->
+        let run ~legacy_trace =
+          let e = Engine.create ~legacy_trace () in
+          ignore
+            (Engine.spawn e ~name:"w" (fun () ->
+                 Engine.sleep e (Time.ms 2);
+                 Engine.record e "mid";
+                 Engine.sleep e (Time.ms 3)));
+          Engine.run e;
+          e
+        in
+        let on = run ~legacy_trace:true in
+        let off = run ~legacy_trace:false in
+        checkb "same fingerprint" true
+          (Int64.equal (Engine.events_hash on) (Engine.events_hash off));
+        checkb "same structured events" true
+          (Engine.events on = Engine.events off);
+        checki "no legacy trace rendered" 0
+          (Engine.view off).Engine.v_trace_count);
+    Alcotest.test_case "event capacity drops with O(1) accounting" `Quick
+      (fun () ->
+        let e = Engine.create ~event_capacity:4 () in
+        for i = 1 to 10 do
+          Engine.record e (string_of_int i)
+        done;
+        checki "kept" 4 (Array.length (Engine.events e));
+        checki "dropped" 6 (Engine.events_dropped e));
+  ]
+
 let rng_property =
   QCheck.Test.make ~name:"Rng.int stays within any positive bound" ~count:500
     QCheck.(pair small_int (int_range 1 1_000_000))
@@ -845,10 +968,16 @@ let () =
   Alcotest.run "sim"
     [
       ("time", time_tests);
-      ("heap", heap_tests @ [ QCheck_alcotest.to_alcotest heap_property ]);
+      ( "heap",
+        heap_tests @ heap_clear_tests
+        @ [
+            QCheck_alcotest.to_alcotest heap_property;
+            QCheck_alcotest.to_alcotest heap_model_property;
+          ] );
       ("rng", rng_tests @ [ QCheck_alcotest.to_alcotest rng_property ]);
       ("trace", trace_tests);
       ("engine", engine_tests);
+      ("event-log", event_log_tests);
       ("sync", sync_tests);
       ("extra", extra_tests);
     ]
