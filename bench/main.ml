@@ -513,6 +513,13 @@ let micro () =
   let chrysalis_rpc () =
     ignore (Harness.Rpc_bench.run BW.chrysalis ~payload:0 ~iters:3 ~warmup:1 ())
   in
+  (* Same RPC with a zero-probability fault plan ambient: no faults ever
+     fire, but the injector hooks, the per-call screening timers and the
+     server-side dedup table are all live — the retry-path overhead. *)
+  let chrysalis_rpc_screened () =
+    Faults.with_plan Faults.Plan.none (fun () ->
+        ignore (Harness.Rpc_bench.run BW.chrysalis ~payload:0 ~iters:3 ~warmup:1 ()))
+  in
   let tests =
     [
       Test.make ~name:"engine: 100 timer events" (Staged.stage engine_events);
@@ -521,6 +528,8 @@ let micro () =
       Test.make ~name:"heap: 200 add+pop" (Staged.stage heap_churn);
       Test.make ~name:"codec: encode+decode 280B" (Staged.stage codec_roundtrip);
       Test.make ~name:"full chrysalis RPC sim" (Staged.stage chrysalis_rpc);
+      Test.make ~name:"chrysalis RPC, screening armed"
+        (Staged.stage chrysalis_rpc_screened);
     ]
   in
   let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ~kde:None () in

@@ -287,6 +287,113 @@ let explore_cmd =
       const run $ seeds $ policies $ scenario_filter $ backend_filter
       $ jobs_arg)
 
+(* ---- chaos: fault-injection sweep ----------------------------------------- *)
+
+let chaos_cmd =
+  let seeds =
+    Arg.(
+      value & opt int 2
+      & info [ "n"; "seeds" ] ~docv:"N"
+          ~doc:"Number of seeds to sweep (seeds 1..N).")
+  in
+  let one_seed =
+    let doc =
+      "Sweep exactly this seed (overrides $(b,-n)).  Two invocations \
+       with the same seed print byte-identical tables at any $(b,-j)."
+    in
+    Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let plan_conv =
+    let parse s =
+      match Explore.Chaos.plan_kind_of_string s with
+      | Some p -> Ok p
+      | None -> Error (`Msg (Printf.sprintf "unknown fault plan %S" s))
+    in
+    let print ppf p =
+      Format.pp_print_string ppf (Explore.Chaos.plan_kind_name p)
+    in
+    Arg.conv (parse, print)
+  in
+  let plans =
+    let doc =
+      "Fault plan to inject (drop, duplicate, delay, crash-restart, \
+       partition, mix); repeatable.  Default: all of them."
+    in
+    Arg.(value & opt_all plan_conv [] & info [ "plan" ] ~docv:"PLAN" ~doc)
+  in
+  let scenario_filter =
+    let doc = "Restrict to one scenario; repeatable." in
+    Arg.(value & opt_all string [] & info [ "scenario" ] ~docv:"SCENARIO" ~doc)
+  in
+  let backend_filter =
+    let doc = "Restrict to one backend; repeatable." in
+    Arg.(value & opt_all string [] & info [ "backend" ] ~docv:"BACKEND" ~doc)
+  in
+  let run n one_seed plans scenario_filter backend_filter jobs =
+    let module D = Explore.Driver in
+    let module C = Explore.Chaos in
+    let seeds =
+      match one_seed with
+      | Some s -> [ s ]
+      | None -> List.init (max n 0) (fun i -> i + 1)
+    in
+    let plans = if plans = [] then C.all_plans else plans in
+    let check_names what names have =
+      List.iter
+        (fun s ->
+          if not (List.mem s have) then begin
+            Printf.eprintf "unknown %s %S (have: %s)\n" what s
+              (String.concat ", " have);
+            exit 2
+          end)
+        names
+    in
+    let scenarios =
+      if scenario_filter = [] then D.scenario_names
+      else begin
+        check_names "scenario" scenario_filter D.scenario_names;
+        scenario_filter
+      end
+    in
+    let backends =
+      if backend_filter = [] then D.backend_names
+      else begin
+        check_names "backend" backend_filter D.backend_names;
+        backend_filter
+      end
+    in
+    let results = C.sweep ~jobs ~scenarios ~backends ~seeds ~plans () in
+    if results = [] then begin
+      print_endline "no runs selected";
+      exit 2
+    end;
+    Printf.printf
+      "chaos: %d runs (%d scenarios, %d backends, %d seeds, %d plans)\n\n"
+      (List.length results) (List.length scenarios) (List.length backends)
+      (List.length seeds) (List.length plans);
+    print_string (C.table results);
+    print_newline ();
+    print_string (C.summary results);
+    match C.failures results with
+    | [] -> print_endline "\nall invariants held on every faulted run"
+    | fails ->
+      Printf.printf "\n%d failing runs; repro dumps follow\n\n"
+        (List.length fails);
+      List.iter
+        (fun r -> print_string (C.repro r.C.h_case); print_newline ())
+        fails;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Sweep scenarios x backends x seeds x fault plans — message \
+          drop/duplicate/delay, crash-restart, partition — with LYNX \
+          retry/timeout screening armed, and check every invariant.")
+    Term.(
+      const run $ seeds $ one_seed $ plans $ scenario_filter
+      $ backend_filter $ jobs_arg)
+
 (* ---- lint: static protocol linter ---------------------------------------- *)
 
 let lint_cmd =
@@ -417,6 +524,7 @@ let () =
             sweep_cmd;
             repair_cmd;
             explore_cmd;
+            chaos_cmd;
             lint_cmd;
             races_cmd;
             backends_cmd;

@@ -89,7 +89,9 @@ let index (events : Event.t array) =
       | Event.Link_move { obj } ->
         let s = slot obj in
         s.a_moves <- (pos, fid, clk) :: s.a_moves
-      | Event.Spawn _ | Event.Crash _ | Event.Note _ | Event.Block _ -> ())
+      | Event.Spawn _ | Event.Crash _ | Event.Note _ | Event.Block _
+      | Event.Drop _ | Event.Fault _ ->
+        ())
     events;
   let frozen = Hashtbl.create (Hashtbl.length tbl) in
   Hashtbl.iter (fun obj a -> Hashtbl.add frozen obj (freeze a)) tbl;

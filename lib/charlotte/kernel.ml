@@ -40,6 +40,7 @@ type t = {
   cst : Costs.t;
   sts : Stats.t;
   ring : Netmodel.Token_ring.t;
+  inj : Faults.Injector.t option;
   links : (int, link) Hashtbl.t;
   procs : (int, process) Hashtbl.t;
   mutable next_link : int;
@@ -53,6 +54,7 @@ let create eng ?(costs = Costs.default) ?stats ~nodes () =
     cst = costs;
     sts;
     ring = Netmodel.Token_ring.create eng ~stats:sts ~stations:nodes ();
+    inj = Faults.Injector.of_ambient eng ~stats:sts;
     links = Hashtbl.create 64;
     procs = Hashtbl.create 16;
     next_link = 0;
@@ -145,8 +147,16 @@ and start_transfer t l ~src ~dst ~s ~r ~src_pid ~dst_pid =
   Stats.incr t.sts "charlotte.kernel_msgs";
   Stats.incr t.sts "charlotte.bytes" ~by:bytes;
   let src_node = process_node t src_pid and dst_node = process_node t dst_pid in
+  (* Injected transport faults sit between the ring and the link-state
+     update: a duplicated delivery is absorbed by the staleness guards
+     below (the first copy consumed the activities), drops retransmit —
+     Charlotte links are reliable once established (§2.2). *)
   Netmodel.Token_ring.transmit t.ring ~src:src_node ~dst:dst_node ~duration
-    ~on_delivered:(fun () ->
+    ~on_delivered:
+      (Faults.Injector.wrap_delivery t.inj ~src:src_node ~dst:dst_node
+         ~obj:(Printf.sprintf "cha.L%d" l.l_id)
+         ~op:"transfer"
+      @@ fun () ->
       (* Stale if the link was destroyed (destroy already completed the
          activities) or the activities were replaced. *)
       let current_s = match src.e_send with Some s' -> s' == s | None -> false in

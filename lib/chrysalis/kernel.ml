@@ -43,6 +43,7 @@ type t = {
   events : (event_name, event_block) Hashtbl.t;
   dualqs : (dualq_name, dual_queue) Hashtbl.t;
   procs : (pid, process) Hashtbl.t;
+  inj : Faults.Injector.t option;
   mutable next_id : int;
 }
 
@@ -52,6 +53,7 @@ let create eng ?(costs = Costs.default) ?stats ~processors () =
     eng;
     cst = costs;
     sts;
+    inj = Faults.Injector.of_ambient eng ~stats:sts;
     switch = Netmodel.Butterfly_switch.create eng ~stats:sts ~processors ();
     objects = Hashtbl.create 64;
     events = Hashtbl.create 64;
@@ -232,8 +234,9 @@ let make_event t pid =
     { ev_name = name; ev_owner = pid; ev_state = `Clear; ev_waiter = None };
   name
 
-let event_post t _pid name datum =
-  charge t t.cst.Costs.event_post;
+(* The uncharged core: waking a waiter is scheduler-safe, so injected
+   faults can re-run it from a timer. *)
+let event_post_now t name datum =
   Stats.incr t.sts "chrysalis.event_posts";
   let ev = event t name in
   match ev.ev_waiter with
@@ -241,6 +244,10 @@ let event_post t _pid name datum =
     ev.ev_waiter <- None;
     waker (Ok datum)
   | None -> ev.ev_state <- `Posted datum
+
+let event_post t _pid name datum =
+  charge t t.cst.Costs.event_post;
+  event_post_now t name datum
 
 let event_wait t pid name =
   charge t t.cst.Costs.event_wait;
@@ -276,15 +283,17 @@ let make_dualq t _pid ~capacity =
 
 let dq_obj qname = Printf.sprintf "chry.dq%d" qname
 
-let dq_enqueue t pid qname datum =
-  charge t t.cst.Costs.dq_op;
+(* [post] is how a waiting consumer gets woken: the charged [event_post]
+   on the synchronous path, the uncharged [event_post_now] when a fault
+   replays the enqueue from a timer (scheduler context cannot sleep). *)
+let dq_enqueue_via t qname datum ~post =
   Stats.incr t.sts "chrysalis.dq_enqueues";
   let q = dualq t qname in
   match Queue.take_opt q.dq_waiting with
   | Some ev_name ->
     Engine.emit t.eng (Event.Signal { obj = dq_obj qname; woke = true });
     (* The queue holds event names: enqueue actually posts. *)
-    event_post t pid ev_name datum
+    post ev_name datum
   | None ->
     if Queue.length q.dq_data >= q.dq_capacity then
       raise (Memory_fault Bounds)
@@ -295,6 +304,24 @@ let dq_enqueue t pid qname datum =
       Engine.emit t.eng (Event.Signal { obj = dq_obj qname; woke = false });
       Queue.add datum q.dq_data
     end
+
+let dq_enqueue t pid qname datum =
+  charge t t.cst.Costs.dq_op;
+  match t.inj with
+  | None -> dq_enqueue_via t qname datum ~post:(event_post t pid)
+  | Some inj ->
+    (* Dual-queue entries are hints: an injected fault may lose, delay
+       or duplicate one, and the flag words (the truth, §4.3) cover the
+       gap.  A deferred enqueue that finds the queue full sheds the hint
+       rather than faulting in scheduler context — same recovery. *)
+    let shed_full () =
+      try dq_enqueue_via t qname datum ~post:(event_post_now t)
+      with Memory_fault Bounds ->
+        Stats.incr t.sts "chrysalis.dq_hints_shed";
+        Engine.emit t.eng (Event.Drop { obj = dq_obj qname; op = "enqueue" })
+    in
+    Faults.Injector.wrap_delivery (Some inj) ~obj:(dq_obj qname) ~op:"enqueue"
+      shed_full ()
 
 let dq_dequeue t _pid qname ~ev =
   charge t t.cst.Costs.dq_op;

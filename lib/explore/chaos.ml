@@ -1,0 +1,209 @@
+open Sim
+module S = Harness.Scenarios
+
+type plan_kind = Drop | Duplicate | Delay | Crash_restart | Partition | Mix
+
+let all_plans = [ Drop; Duplicate; Delay; Crash_restart; Partition; Mix ]
+
+let plan_kind_name = function
+  | Drop -> "drop"
+  | Duplicate -> "duplicate"
+  | Delay -> "delay"
+  | Crash_restart -> "crash-restart"
+  | Partition -> "partition"
+  | Mix -> "mix"
+
+let plan_kind_of_string = function
+  | "drop" -> Some Drop
+  | "duplicate" -> Some Duplicate
+  | "delay" -> Some Delay
+  | "crash-restart" -> Some Crash_restart
+  | "partition" -> Some Partition
+  | "mix" -> Some Mix
+  | _ -> None
+
+let plan_of = function
+  | Drop -> Faults.Plan.drops
+  | Duplicate -> Faults.Plan.dups
+  | Delay -> Faults.Plan.delays
+  | Crash_restart -> Faults.Plan.crash_restart
+  | Partition -> Faults.Plan.partition
+  | Mix -> Faults.Plan.mix
+
+type case = {
+  h_scenario : string;
+  h_backend : string;
+  h_seed : int;
+  h_plan : plan_kind;
+}
+
+type result = {
+  h_case : case;
+  h_ok : bool;  (** the scenario's own verdict — informational under faults *)
+  h_violations : Invariant.violation list;
+  h_detail : string;
+  h_events_hash : int64;
+  h_faults : (string * int) list;
+      (** injected-fault and screening counters for the run *)
+}
+
+let case_name c =
+  Printf.sprintf "%s/%s/%d/%s" c.h_scenario c.h_backend c.h_seed
+    (plan_kind_name c.h_plan)
+
+let fault_counter_prefixes =
+  [ "faults."; "lynx.call_"; "lynx.dup_"; "lynx.bodies_screened" ]
+
+let fault_counters counters =
+  List.filter
+    (fun (k, _) ->
+      List.exists (fun p -> String.starts_with ~prefix:p k) fault_counter_prefixes)
+    counters
+
+(* The invariant suite judges a faulted run exactly as it judges a clean
+   one — that is the point: faults may slow scenarios down or make them
+   miss their scripted finale ([h_ok] false), but they must never
+   deadlock the run, leak fibers, crash threads with non-LYNX errors,
+   break link-end conservation, or deliver a message that was never
+   sent. *)
+let judge case (o : S.outcome) =
+  let dirty =
+    try List.assoc "lynx.thread_exceptions_dirty" o.S.o_counters
+    with Not_found -> 0
+  in
+  let extra =
+    if dirty > 0 then
+      [
+        {
+          Invariant.v_invariant = "clean-failure";
+          v_detail =
+            Printf.sprintf
+              "%d thread(s) died with non-LYNX exceptions under faults" dirty;
+        };
+      ]
+    else []
+  in
+  {
+    h_case = case;
+    h_ok = o.S.o_ok;
+    h_violations = Invariant.check o @ extra;
+    h_detail = o.S.o_detail;
+    h_events_hash = o.S.o_view.Engine.v_events_hash;
+    h_faults = fault_counters o.S.o_counters;
+  }
+
+let driver_case c =
+  {
+    Driver.c_scenario = c.h_scenario;
+    c_backend = c.h_backend;
+    c_seed = c.h_seed;
+    c_policy = Driver.Fifo;
+  }
+
+let run_case c =
+  let plan = plan_of c.h_plan in
+  Faults.with_plan plan (fun () ->
+      match Driver.run_outcome ~legacy_trace:false (driver_case c) with
+      | None -> None
+      | Some o -> Some (judge c o)
+      | exception e ->
+        (* A wedged or crashed run is itself the finding. *)
+        Some
+          {
+            h_case = c;
+            h_ok = false;
+            h_violations =
+              [
+                {
+                  Invariant.v_invariant = "no-deadlock";
+                  v_detail = "run aborted: " ^ Printexc.to_string e;
+                };
+              ];
+            h_detail = Printexc.to_string e;
+            h_events_hash = 0L;
+            h_faults = [];
+          })
+
+let cases ?(scenarios = Driver.scenario_names) ?(backends = Driver.backend_names)
+    ?(seeds = [ 1; 2 ]) ?(plans = all_plans) () =
+  List.concat_map
+    (fun h_scenario ->
+      List.concat_map
+        (fun h_backend ->
+          List.concat_map
+            (fun h_seed ->
+              List.map (fun h_plan -> { h_scenario; h_backend; h_seed; h_plan }) plans)
+            seeds)
+        backends)
+    scenarios
+
+(* Cases are embarrassingly parallel: the ambient plan is set inside the
+   worker (per-domain), every case owns a private engine, and the pool
+   preserves input order — the result list, the fingerprint table and
+   the summary are identical at every [jobs] count. *)
+let sweep ?(jobs = 1) ?scenarios ?backends ?seeds ?plans () =
+  cases ?scenarios ?backends ?seeds ?plans ()
+  |> Parallel.Pool.map_list ~jobs run_case
+  |> List.filter_map Fun.id
+
+let failed r = r.h_violations <> []
+let failures results = List.filter failed results
+
+(* The determinism fingerprint: one line per case with the verdict and
+   the event-stream hash.  Two runs of the same sweep — at any [-j] —
+   must render byte-identical tables. *)
+let table results =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-40s %-6s %-18s %s\n" "case" "ok" "events" "verdict");
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-40s %-6b %016Lx  %s\n" (case_name r.h_case) r.h_ok
+           r.h_events_hash
+           (if failed r then
+              String.concat "; "
+                (List.map Invariant.to_string r.h_violations)
+            else "pass")))
+    results;
+  Buffer.contents buf
+
+let summary results =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      let key = (r.h_case.h_scenario, plan_kind_name r.h_case.h_plan) in
+      let runs, fails = Option.value ~default:(0, 0) (Hashtbl.find_opt tbl key) in
+      Hashtbl.replace tbl key (runs + 1, if failed r then fails + 1 else fails))
+    results;
+  let rows =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
+  in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-20s %-14s %6s %6s\n" "scenario" "plan" "runs" "fail");
+  List.iter
+    (fun ((sc, pl), (runs, fails)) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-20s %-14s %6d %6d\n" sc pl runs fails))
+    rows;
+  Buffer.contents buf
+
+let repro c =
+  let buf = Buffer.create 1024 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr "chaos repro %s (plan: %s)\n" (case_name c)
+    (Faults.Plan.to_string (plan_of c.h_plan));
+  (match run_case c with
+  | None -> pr "  scenario does not apply to this backend\n"
+  | Some r ->
+    pr "  ok=%b  detail: %s\n" r.h_ok r.h_detail;
+    pr "  events hash %016Lx\n" r.h_events_hash;
+    List.iter
+      (fun v -> pr "  VIOLATION %s\n" (Invariant.to_string v))
+      r.h_violations;
+    if r.h_faults <> [] then begin
+      pr "  fault counters:\n";
+      List.iter (fun (k, n) -> pr "    %-32s %d\n" k n) r.h_faults
+    end);
+  Buffer.contents buf

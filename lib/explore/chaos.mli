@@ -1,0 +1,84 @@
+(** Chaos sweep: catalog scenarios × fault plans, judged by the
+    invariant suite.
+
+    Runs every {!Harness.Scenarios} scenario on every backend under an
+    ambient {!Faults.Plan} — message drop (with lower-layer
+    retransmission), duplication, delay spikes, crash/restart outages,
+    partitions — with the LYNX runtime's screening armed: reply
+    timeouts, capped exponential backoff, retry budgets and at-most-once
+    request dedup.  A faulted run may miss the scenario's scripted
+    finale, but it must still satisfy every invariant: no deadlock, no
+    leaked fibers, link-end conservation, at-most-once delivery, and no
+    thread dying with a non-LYNX exception ("served or cleanly
+    refused").
+
+    Everything is deterministic: fault draws come from a stream split
+    off the case's seeded engine, so the same (scenario, backend, seed,
+    plan) tuple reproduces the same faults, the same verdict and the
+    same event-stream fingerprint at any [-j]. *)
+
+type plan_kind = Drop | Duplicate | Delay | Crash_restart | Partition | Mix
+
+val all_plans : plan_kind list
+val plan_kind_name : plan_kind -> string
+val plan_kind_of_string : string -> plan_kind option
+val plan_of : plan_kind -> Faults.Plan.t
+
+type case = {
+  h_scenario : string;
+  h_backend : string;
+  h_seed : int;
+  h_plan : plan_kind;
+}
+
+type result = {
+  h_case : case;
+  h_ok : bool;  (** the scenario's own verdict — informational under faults *)
+  h_violations : Invariant.violation list;
+  h_detail : string;
+  h_events_hash : int64;
+  h_faults : (string * int) list;
+      (** injected-fault and screening counters for the run *)
+}
+
+val case_name : case -> string
+(** ["scenario/backend/seed/plan"] — the repro handle. *)
+
+val run_case : case -> result option
+(** [None] when the scenario does not apply to the backend.  A run that
+    deadlocks or crashes the engine is reported as a violation, not an
+    exception. *)
+
+val cases :
+  ?scenarios:string list ->
+  ?backends:string list ->
+  ?seeds:int list ->
+  ?plans:plan_kind list ->
+  unit ->
+  case list
+
+val sweep :
+  ?jobs:int ->
+  ?scenarios:string list ->
+  ?backends:string list ->
+  ?seeds:int list ->
+  ?plans:plan_kind list ->
+  unit ->
+  result list
+(** The case product (defaults: all scenarios, all backends, seeds 1-2,
+    all plans) minus inapplicable combinations, on the [-j] domain pool.
+    Results keep sweep order, so any rendering is identical at every
+    [jobs] count. *)
+
+val failures : result list -> result list
+
+val table : result list -> string
+(** The verdict/fingerprint table — the byte-comparable determinism
+    witness. *)
+
+val summary : result list -> string
+(** Per-(scenario, plan) pass/fail table. *)
+
+val repro : case -> string
+(** Re-runs a failing case and dumps verdict, violations and fault
+    counters. *)

@@ -51,6 +51,12 @@ val backend_names : string list
 val case_name : case -> string
 (** ["scenario/backend/seed/policy"] — the repro handle. *)
 
+val run_outcome : ?legacy_trace:bool -> case -> Harness.Scenarios.outcome option
+(** Runs just the scenario for a case, without judging it — [None] when
+    the scenario does not apply to the backend.  The chaos sweep uses
+    this to run catalog scenarios under an ambient fault plan and apply
+    its own verdict. *)
+
 val run_case : ?legacy_trace:bool -> case -> result option
 (** [None] when the scenario does not apply to the backend.
     [legacy_trace] (default true) is forwarded to the engine; batch

@@ -1,0 +1,251 @@
+open Sim
+
+module Plan = struct
+  type screening = {
+    s_timeout : Time.t;
+    s_backoff : int;
+    s_timeout_cap : Time.t;
+    s_budget : int;
+  }
+
+  let default_screening =
+    {
+      s_timeout = Time.ms 10;
+      s_backoff = 2;
+      s_timeout_cap = Time.ms 80;
+      s_budget = 8;
+    }
+
+  type t = {
+    label : string;
+    drop : float;
+    dup : float;
+    delay : float;
+    delay_bound : Time.t;
+    retransmit : Time.t;
+    crash_at : Time.t option;
+    restart_after : Time.t option;
+    partition_at : (Time.t * Time.t) option;
+    screening : screening option;
+  }
+
+  let none =
+    {
+      label = "none";
+      drop = 0.;
+      dup = 0.;
+      delay = 0.;
+      delay_bound = Time.ms 2;
+      retransmit = Time.us 200;
+      crash_at = None;
+      restart_after = None;
+      partition_at = None;
+      screening = Some default_screening;
+    }
+
+  let drops = { none with label = "drop"; drop = 0.25 }
+  let dups = { none with label = "duplicate"; dup = 0.3 }
+  let delays = { none with label = "delay"; delay = 0.3 }
+
+  let crash_restart =
+    {
+      none with
+      label = "crash-restart";
+      crash_at = Some (Time.ms 2);
+      restart_after = Some (Time.ms 3);
+    }
+
+  let partition =
+    { none with label = "partition"; partition_at = Some (Time.ms 1, Time.ms 4) }
+
+  let mix =
+    {
+      none with
+      label = "mix";
+      drop = 0.1;
+      dup = 0.1;
+      delay = 0.15;
+      crash_at = Some (Time.ms 3);
+      restart_after = Some (Time.ms 2);
+    }
+
+  (* A probability of 1 would retransmit forever; 0.95 keeps every
+     retransmission loop geometric. *)
+  let clamp p = if p < 0. then 0. else if p > 0.95 then 0.95 else p
+
+  let validate t =
+    {
+      t with
+      drop = clamp t.drop;
+      dup = clamp t.dup;
+      delay = clamp t.delay;
+      restart_after =
+        (match (t.crash_at, t.restart_after) with
+        | Some _, None -> Some (Time.ms 3)
+        | _, r -> r);
+    }
+
+  let to_string t =
+    let b = Buffer.create 64 in
+    Buffer.add_string b t.label;
+    let f name v = if v > 0. then Buffer.add_string b (Printf.sprintf " %s=%.2f" name v) in
+    f "drop" t.drop;
+    f "dup" t.dup;
+    f "delay" t.delay;
+    (match t.crash_at with
+    | Some at -> Buffer.add_string b (Printf.sprintf " crash@%s" (Time.to_string at))
+    | None -> ());
+    (match t.partition_at with
+    | Some (a, z) ->
+      Buffer.add_string b
+        (Printf.sprintf " partition@[%s,%s)" (Time.to_string a) (Time.to_string z))
+    | None -> ());
+    Buffer.contents b
+end
+
+(* The ambient plan is per-domain: sweep workers each set and clear
+   their own slot around a case, so parallel chaos sweeps cannot leak a
+   plan across cases. *)
+let ambient_key : Plan.t option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let ambient () = Domain.DLS.get ambient_key
+
+let with_plan plan f =
+  let saved = Domain.DLS.get ambient_key in
+  Domain.DLS.set ambient_key (Some plan);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set ambient_key saved) f
+
+let transport_loss eng sts ~counter ~obj ~op =
+  Stats.incr sts counter;
+  Engine.emit eng (Event.Drop { obj; op })
+
+module Injector = struct
+  type t = {
+    plan : Plan.t;
+    eng : Engine.t;
+    sts : Stats.t;
+    rng : Rng.t;
+    mutable victims : string list;  (** reversed registration order *)
+    mutable down : int option;  (** victim id while crashed *)
+    mutable heal_at : Time.t;
+  }
+
+  type verdict = Pass | Hold of Time.t | Dup of Time.t
+
+  (* Picking the victim is deferred to crash time so every process
+     spawned before the crash is a candidate; the draw is deterministic
+     because registration order and the injector stream are. *)
+  let crash t ~restart_after =
+    let n = List.length t.victims in
+    if n > 0 then begin
+      let idx = Rng.int t.rng n in
+      let name = List.nth t.victims (n - 1 - idx) in
+      t.down <- Some idx;
+      t.heal_at <- Time.add (Engine.now t.eng) restart_after;
+      Stats.incr t.sts "faults.crashes";
+      Engine.emit t.eng (Event.Fault { what = "crash"; obj = name });
+      Engine.schedule_after t.eng restart_after (fun () ->
+          t.down <- None;
+          Stats.incr t.sts "faults.restarts";
+          Engine.emit t.eng (Event.Fault { what = "restart"; obj = name }))
+    end
+
+  let create eng ~stats plan =
+    let plan = Plan.validate plan in
+    let t =
+      {
+        plan;
+        eng;
+        sts = stats;
+        rng = Rng.split (Engine.rng eng);
+        victims = [];
+        down = None;
+        heal_at = Time.zero;
+      }
+    in
+    (match (plan.Plan.crash_at, plan.Plan.restart_after) with
+    | Some at, Some restart_after ->
+      let at = Time.max at (Engine.now eng) in
+      Engine.schedule_at eng at (fun () -> crash t ~restart_after)
+    | _ -> ());
+    t
+
+  let of_ambient eng ~stats = Option.map (create eng ~stats) (ambient ())
+  let screening t = t.plan.Plan.screening
+
+  let register_victim t ~name =
+    let id = List.length t.victims in
+    t.victims <- name :: t.victims;
+    id
+
+  let outage t vid =
+    match t.down with
+    | Some v when v = vid ->
+      (* Hold until just past restart, so healed deliveries interleave
+         with the retries the outage provoked. *)
+      Some (Time.add (Time.diff t.heal_at (Engine.now t.eng)) (Time.us 1))
+    | _ -> None
+
+  let partitioned t ~src ~dst =
+    match (t.plan.Plan.partition_at, src, dst) with
+    | Some (a, z), Some s, Some d ->
+      let now = Engine.now t.eng in
+      Time.(now >= a) && Time.(now < z) && s land 1 <> d land 1
+    | _ -> false
+
+  let spike t = Time.mul_float t.plan.Plan.delay_bound (Rng.float t.rng)
+
+  (* One delivery decision.  Runs in scheduler context (transport
+     completion callbacks), where [Engine.emit] stamps fiber -1. *)
+  let rec deliver t ?src ?dst ~obj ~op k =
+    if partitioned t ~src ~dst then begin
+      Stats.incr t.sts "faults.partition_stalls";
+      Engine.emit t.eng (Event.Fault { what = "partition"; obj });
+      Engine.schedule_after t.eng t.plan.Plan.retransmit (fun () ->
+          deliver t ?src ?dst ~obj ~op k)
+    end
+    else if Rng.bool t.rng t.plan.Plan.drop then begin
+      Stats.incr t.sts "faults.drops";
+      Engine.emit t.eng (Event.Drop { obj; op });
+      Engine.schedule_after t.eng t.plan.Plan.retransmit (fun () ->
+          deliver t ?src ?dst ~obj ~op k)
+    end
+    else if Rng.bool t.rng t.plan.Plan.dup then begin
+      Stats.incr t.sts "faults.dups";
+      Engine.emit t.eng (Event.Fault { what = "dup"; obj });
+      Engine.schedule_after t.eng t.plan.Plan.retransmit k;
+      k ()
+    end
+    else if Rng.bool t.rng t.plan.Plan.delay then begin
+      Stats.incr t.sts "faults.delays";
+      Engine.emit t.eng (Event.Fault { what = "delay"; obj });
+      Engine.schedule_after t.eng (spike t) k
+    end
+    else k ()
+
+  let wrap_delivery inj ?src ?dst ~obj ~op k =
+    match inj with
+    | None -> k
+    | Some t -> fun () -> deliver t ?src ?dst ~obj ~op k
+
+  let rx_verdict t ~obj ~op =
+    if Rng.bool t.rng t.plan.Plan.drop then begin
+      Stats.incr t.sts "faults.rx_drops";
+      Engine.emit t.eng (Event.Drop { obj; op });
+      (* lost, then retransmitted below us — redelivered one interval
+         later, by which time the caller has usually retried *)
+      Hold t.plan.Plan.retransmit
+    end
+    else if Rng.bool t.rng t.plan.Plan.dup then begin
+      Stats.incr t.sts "faults.rx_dups";
+      Engine.emit t.eng (Event.Fault { what = "dup"; obj });
+      Dup t.plan.Plan.retransmit
+    end
+    else if Rng.bool t.rng t.plan.Plan.delay then begin
+      Stats.incr t.sts "faults.rx_delays";
+      Engine.emit t.eng (Event.Fault { what = "delay"; obj });
+      Hold (spike t)
+    end
+    else Pass
+end

@@ -1,0 +1,144 @@
+(** Declarative, seeded, deterministic fault injection.
+
+    A {!Plan.t} describes which faults to inject — message drop,
+    duplication, delay spikes, node crash/restart, network partition —
+    and with what probabilities and windows.  An {!Injector.t} applies a
+    plan to one simulated world: it draws from its own {!Sim.Rng} stream
+    (split off the engine's root stream, so injecting a fault never
+    perturbs the scheduling randomness of the unfaulted path) and
+    schedules everything on the engine clock, so a faulted run is as
+    byte-reproducible as a clean one.
+
+    The model is {e fail-recover}, matching the paper's transports:
+    Charlotte links are reliable once established (§2.2), SODA requests
+    are unreliable but the kernel retransmits (§3.2), and Chrysalis
+    flags survive crashes while dual-queue hints do not (§4.3).  So an
+    injected drop is a lost frame {e followed by a lower-layer
+    retransmission} after {!Plan.t.retransmit}; a crash stalls the
+    victim's inbound deliveries until restart.  Faults therefore never
+    wedge a run — what they do is widen windows: duplicated deliveries
+    probe at-most-once dedup, delayed replies fire LYNX screening
+    timeouts, retransmitted requests race their own retries.  Fail-stop
+    death (no recovery) is modeled separately by killing processes
+    outright (see test/test_faults.ml).
+
+    Plans are handed to worlds ambiently: wrap a run in {!with_plan} and
+    every world / kernel created inside the callback picks the plan up
+    at creation time.  With no ambient plan, all hooks are inert and the
+    simulation is byte-identical to one built before this module
+    existed. *)
+
+module Plan : sig
+  type screening = {
+    s_timeout : Sim.Time.t;  (** first-attempt reply timeout *)
+    s_backoff : int;  (** timeout multiplier per retry *)
+    s_timeout_cap : Sim.Time.t;  (** backoff ceiling *)
+    s_budget : int;  (** total attempts before {!Lynx} gives up *)
+  }
+  (** Per-request screening policy the LYNX runtime applies on top of an
+      unreliable transport (§5: screening belongs to the language
+      runtime, not the kernel). *)
+
+  val default_screening : screening
+
+  type t = {
+    label : string;
+    drop : float;  (** per-delivery probability a frame is lost *)
+    dup : float;  (** per-delivery probability a frame is duplicated *)
+    delay : float;  (** per-delivery probability of a delay spike *)
+    delay_bound : Sim.Time.t;  (** delay spikes are uniform in [0, bound) *)
+    retransmit : Sim.Time.t;
+        (** lower-layer retransmission interval: a dropped frame is
+            redelivered (and re-judged) this much later; also the lag of
+            a duplicate's second copy *)
+    crash_at : Sim.Time.t option;
+        (** when to crash one process (picked by the injector) *)
+    restart_after : Sim.Time.t option;
+        (** outage length; defaulted when [crash_at] is set, so a crash
+            always heals and runs always terminate *)
+    partition_at : (Sim.Time.t * Sim.Time.t) option;
+        (** window during which odd- and even-numbered nodes cannot
+            exchange frames (deliveries stall until heal) *)
+    screening : screening option;
+        (** armed on every process of a faulted world *)
+  }
+
+  val none : t
+  (** No faults, screening still armed — the overhead baseline. *)
+
+  val drops : t
+  val dups : t
+  val delays : t
+  val crash_restart : t
+  val partition : t
+  val mix : t
+
+  val validate : t -> t
+  (** Clamps probabilities to [0, 0.95] (a drop probability of 1 would
+      retransmit forever) and defaults [restart_after] when [crash_at]
+      is set. *)
+
+  val to_string : t -> string
+end
+
+val with_plan : Plan.t -> (unit -> 'a) -> 'a
+(** Runs [f] with [plan] as the ambient plan (per-domain, restored on
+    exit) — worlds created inside pick it up. *)
+
+val ambient : unit -> Plan.t option
+
+val transport_loss :
+  Sim.Engine.t -> Sim.Stats.t -> counter:string -> obj:string -> op:string -> unit
+(** Records a modeled transport-level frame loss — a counter bump plus a
+    typed {!Sim.Event.Drop} — for losses that are part of the network
+    model itself (CSMA broadcast loss) rather than injected. *)
+
+module Injector : sig
+  type t
+
+  type verdict =
+    | Pass
+    | Hold of Sim.Time.t
+        (** deliver after an extra delay (drop-then-retransmit collapses
+            to this; so do delay spikes and partition/outage stalls) *)
+    | Dup of Sim.Time.t  (** deliver now and again after the lag *)
+
+  val create : Sim.Engine.t -> stats:Sim.Stats.t -> Plan.t -> t
+  (** Validates the plan, splits a private rng off the engine's root
+      stream, and schedules the crash (if any).  One injector per world
+      (or per shared transport). *)
+
+  val of_ambient : Sim.Engine.t -> stats:Sim.Stats.t -> t option
+  (** [create] from the ambient plan; [None] when no plan is ambient. *)
+
+  val screening : t -> Plan.screening option
+
+  val wrap_delivery :
+    t option ->
+    ?src:int ->
+    ?dst:int ->
+    obj:string ->
+    op:string ->
+    (unit -> unit) ->
+    unit ->
+    unit
+  (** Decorates a transport delivery callback (kernel message paths):
+      each invocation draws a fault and either runs the callback, delays
+      it, or also schedules a second run.  [src]/[dst] are node numbers
+      for the partition check.  [None] is the identity — the unfaulted
+      path stays byte-identical. *)
+
+  val rx_verdict : t -> obj:string -> op:string -> verdict
+  (** Judges one received LYNX frame at the backend boundary (the
+      [b_take] side) — the end-to-end layer where duplicates probe
+      at-most-once dedup and stalls fire screening timeouts. *)
+
+  val register_victim : t -> name:string -> int
+  (** Registers a crash candidate; returns its victim id for
+      {!outage}.  Registration order is deterministic, so the victim
+      draw is too. *)
+
+  val outage : t -> int -> Sim.Time.t option
+  (** [Some lag] while the victim is down: hold its inbound deliveries
+      for [lag] (until just past restart).  [None] otherwise. *)
+end

@@ -27,6 +27,11 @@ exception Enclosure_lost of string
 (** A link end enclosed in a failed message could not be recovered — the
     Charlotte deviation documented in §3.2.2. *)
 
+exception Timeout of string
+(** A screened call exhausted its retry budget without a reply (§5:
+    screening — timeouts and retransmission — belongs to the language
+    runtime, not the kernel).  Only raised when screening is armed. *)
+
 let to_string = function
   | Link_destroyed -> "link destroyed"
   | Invalid_link -> "invalid link"
@@ -35,4 +40,13 @@ let to_string = function
   | Remote_error m -> "remote error: " ^ m
   | Process_terminated -> "process terminated"
   | Enclosure_lost m -> "enclosure lost: " ^ m
+  | Timeout m -> "timeout: " ^ m
   | e -> Printexc.to_string e
+
+(* A clean LYNX failure — reflected to the program as a typed exception —
+   as opposed to a bug escaping a thread. *)
+let is_lynx = function
+  | Link_destroyed | Invalid_link | Move_violation _ | Type_error _
+  | Remote_error _ | Process_terminated | Enclosure_lost _ | Timeout _ ->
+    true
+  | _ -> false

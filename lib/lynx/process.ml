@@ -15,6 +15,18 @@ type req_waiter = {
   mutable w_done : bool;
 }
 
+(* What we answered a screened request with, for at-most-once dedup: a
+   duplicate of an already-served request is answered from this cache
+   (the handler must not run twice).  Replies that moved link ends
+   cannot be replayed — the ends are gone — so their duplicates are
+   dropped; the first copy's delivery is the transport's problem. *)
+type served =
+  | Reply_vals of Value.t list
+  | Reply_exn of string
+  | Reply_opaque
+
+type seen_state = In_progress | Served of served
+
 type t = {
   eng : Engine.t;
   pname : string;
@@ -27,6 +39,10 @@ type t = {
   mutable next_corr : int;
   mutable req_waiters : req_waiter list;  (* oldest first *)
   handlers : (int * string, handler) Hashtbl.t;
+  screening : Faults.Plan.screening option;
+      (* per-request timeout/backoff/budget; also arms request dedup *)
+  seen : (int * int, seen_state) Hashtbl.t;
+      (* (lid, corr) of screened requests we have seen *)
   mutable rr_last : int;  (* fairness cursor over link ids *)
   mutable link_hooks : (Link.t -> unit) list;
   mutable terminated : bool;
@@ -128,6 +144,16 @@ let prune_req_waiters t =
     t.req_waiters;
   t.req_waiters <- List.filter (fun w -> not w.w_done) t.req_waiters
 
+let prune_seen t lid =
+  if Hashtbl.length t.seen > 0 then begin
+    let stale =
+      Hashtbl.fold
+        (fun ((klid, _) as key) _ acc -> if klid = lid then key :: acc else acc)
+        t.seen []
+    in
+    List.iter (Hashtbl.remove t.seen) stale
+  end
+
 let mark_dead t lid =
   match Hashtbl.find_opt t.links lid with
   | None -> ()
@@ -135,6 +161,7 @@ let mark_dead t lid =
     if l.Link.l_state = Link.Live || l.Link.l_state = Link.Moving then begin
       l.Link.l_state <- Link.Dead;
       Stats.incr t.sts "lynx.links_dead";
+      prune_seen t lid;
       (* Threads waiting for replies on this link feel the exception. *)
       let tbl = reply_tbl t lid in
       Hashtbl.iter
@@ -172,6 +199,7 @@ let finish t =
         end)
       t.req_waiters;
     t.req_waiters <- [];
+    Hashtbl.reset t.seen;
     Sync.Mailbox.poison t.ops.Backend.b_doorbell Excn.Process_terminated
   end
 
@@ -192,6 +220,9 @@ let spawn_thread t ?tname f =
          | Excn.Process_terminated -> ()
          | e ->
            Stats.incr t.sts "lynx.thread_exceptions";
+           Stats.incr t.sts
+             (if Excn.is_lynx e then "lynx.thread_exceptions_clean"
+              else "lynx.thread_exceptions_dirty");
            Engine.record t.eng
              (Printf.sprintf "%s aborted: %s" tname (Excn.to_string e));
            t.thread_failures <- (tname, e) :: t.thread_failures))
@@ -252,14 +283,14 @@ let send_message t (l : Link.t) ~kind ~corr ~op ?exn_msg (vs : Value.t list) =
 
 (* ---- Client side: call ------------------------------------------------- *)
 
-let call t (l : Link.t) ~op ?expect vs =
-  usable_or_raise l;
-  Stats.incr t.sts "lynx.calls";
-  (* Expect a reply: the reply queue opens as soon as the request is
-     sent (§3.2.1).  Register the waiter first so the dispatcher can
-     never see a reply without a consumer. *)
+(* One request/reply exchange.  The reply queue opens as soon as the
+   request is sent (§3.2.1); the waiter is registered first so the
+   dispatcher can never see a reply without a consumer.  With [timeout],
+   a timer error-fills the waiter if no reply landed in time — the
+   screened caller retries under the {e same} correlation id, so the
+   server's dedup cache recognises the retransmission. *)
+let call_attempt t (l : Link.t) ~op ~corr ?timeout vs =
   let ivar = Sync.Ivar.create t.eng in
-  let corr = fresh_corr t in
   Hashtbl.replace (reply_tbl t l.Link.lid) corr ivar;
   l.Link.replies_expected <- l.Link.replies_expected + 1;
   refresh_interest t l;
@@ -274,6 +305,16 @@ let call t (l : Link.t) ~op ?expect vs =
    with e ->
      unexpect ();
      raise e);
+  (* Armed only after the send completed: the timeout screens the reply
+     wait, not the (blocking, reliable) send. *)
+  (match timeout with
+  | None -> ()
+  | Some d ->
+    Engine.schedule_after t.eng d (fun () ->
+        if not (Sync.Ivar.is_filled ivar) then begin
+          Stats.incr t.sts "lynx.call_timeouts";
+          Sync.Ivar.fill_error ivar (Excn.Timeout op)
+        end));
   let rx =
     try Sync.Ivar.read ivar
     with e ->
@@ -281,6 +322,9 @@ let call t (l : Link.t) ~op ?expect vs =
       raise e
   in
   unexpect ();
+  rx
+
+let decode_reply t ~op ?expect (rx : Backend.rx) =
   match rx.Backend.rx_exn with
   | Some msg -> raise (Excn.Remote_error msg)
   | None -> (
@@ -300,7 +344,48 @@ let call t (l : Link.t) ~op ?expect vs =
               (Ty.list_to_string tys)))
     | _ -> results)
 
+let call t (l : Link.t) ~op ?expect vs =
+  usable_or_raise l;
+  Stats.incr t.sts "lynx.calls";
+  let corr = fresh_corr t in
+  let rx =
+    match t.screening with
+    | None -> call_attempt t l ~op ~corr vs
+    | Some sp ->
+      (* A call that encloses link ends must not blindly retransmit:
+         the ends move with the first copy.  It still gets a (generous)
+         timeout, so an unreachable server surfaces as an exception
+         rather than a hang. *)
+      if Value.links_of_list vs <> [] then
+        call_attempt t l ~op ~corr ~timeout:sp.Faults.Plan.s_timeout_cap vs
+      else begin
+        let rec attempt n ~timeout =
+          match call_attempt t l ~op ~corr ~timeout vs with
+          | rx -> rx
+          | exception Excn.Timeout _ ->
+            if n >= sp.Faults.Plan.s_budget then begin
+              Stats.incr t.sts "lynx.call_budget_exhausted";
+              raise
+                (Excn.Timeout
+                   (Printf.sprintf "%s: no reply after %d attempts" op n))
+            end;
+            Stats.incr t.sts "lynx.call_retries";
+            attempt (n + 1)
+              ~timeout:
+                (Time.min
+                   (Time.scale timeout sp.Faults.Plan.s_backoff)
+                   sp.Faults.Plan.s_timeout_cap)
+        in
+        attempt 1 ~timeout:sp.Faults.Plan.s_timeout
+      end
+  in
+  decode_reply t ~op ?expect rx
+
 (* ---- Server side ------------------------------------------------------- *)
+
+let note_served t (l : Link.t) ~corr served =
+  if t.screening <> None then
+    Hashtbl.replace t.seen (l.Link.lid, corr) (Served served)
 
 (* Build the [incoming] record for a received request. *)
 let make_incoming t (l : Link.t) (rx : Backend.rx) =
@@ -322,13 +407,18 @@ let make_incoming t (l : Link.t) (rx : Backend.rx) =
         l.Link.owed_replies <- max 0 (l.Link.owed_replies - 1))
       (fun () ->
         send_message t l ~kind:Backend.Reply ~corr:rx.Backend.rx_corr
-          ~op:rx.Backend.rx_op results)
+          ~op:rx.Backend.rx_op results;
+        note_served t l ~corr:rx.Backend.rx_corr
+          (if Value.links_of_list results = [] then Reply_vals results
+           else Reply_opaque))
   in
   { in_link = l; in_op = rx.Backend.rx_op; in_args = args; in_reply = reply }
 
 let send_exn_reply t (l : Link.t) ~corr ~op msg =
   l.Link.owed_replies <- max 0 (l.Link.owed_replies - 1);
-  try send_message t l ~kind:Backend.Reply ~corr ~op ~exn_msg:msg []
+  try
+    send_message t l ~kind:Backend.Reply ~corr ~op ~exn_msg:msg [];
+    note_served t l ~corr (Reply_exn msg)
   with Excn.Link_destroyed | Excn.Process_terminated -> ()
 
 (* Run a registered handler for a request in its own thread. *)
@@ -411,7 +501,45 @@ let dispatch_reply t (l : Link.t) (rx : Backend.rx) =
     Sync.Ivar.fill ivar rx
   | None -> Stats.incr t.sts "lynx.orphan_replies"
 
+(* Answer a duplicate of an already-served request from the dedup cache:
+   the reply the client missed is retransmitted, the handler does not
+   run again. *)
+let resend_cached t (l : Link.t) ~corr ~op served =
+  Stats.incr t.sts "lynx.dup_replies_resent";
+  spawn_thread t ~tname:(Printf.sprintf "%s.rereply" t.pname) (fun () ->
+      try
+        match served with
+        | Reply_vals vs -> send_message t l ~kind:Backend.Reply ~corr ~op vs
+        | Reply_exn m ->
+          send_message t l ~kind:Backend.Reply ~corr ~op ~exn_msg:m []
+        | Reply_opaque -> ()
+      with
+      | Excn.Link_destroyed | Excn.Invalid_link | Excn.Process_terminated -> ())
+
+(* At-most-once: when screening is armed, a request id (link, corr) the
+   process has already seen is never dispatched again — in flight it is
+   dropped, served it is re-answered from the cache (§5: duplicate
+   suppression is the runtime's job on an at-least-once transport). *)
+let screen_duplicate t (l : Link.t) (rx : Backend.rx) =
+  match t.screening with
+  | None -> false
+  | Some _ -> (
+    let key = (l.Link.lid, rx.Backend.rx_corr) in
+    match Hashtbl.find_opt t.seen key with
+    | Some In_progress ->
+      Stats.incr t.sts "lynx.dup_requests_dropped";
+      true
+    | Some (Served served) ->
+      Stats.incr t.sts "lynx.dup_requests_dropped";
+      resend_cached t l ~corr:rx.Backend.rx_corr ~op:rx.Backend.rx_op served;
+      true
+    | None ->
+      Hashtbl.replace t.seen key In_progress;
+      false)
+
 let dispatch_request t (l : Link.t) (rx : Backend.rx) =
+  if screen_duplicate t l rx then ()
+  else
   match
     List.find_opt (fun w -> waiter_wants w l.Link.lid) t.req_waiters
   with
@@ -540,7 +668,7 @@ let await_request t ?links () =
 
 (* ---- Construction ------------------------------------------------------- *)
 
-let make eng ~name:pname ~costs ~stats:sts ops =
+let make eng ~name:pname ~costs ~stats:sts ?screening ops =
   let t =
     {
       eng;
@@ -553,6 +681,8 @@ let make eng ~name:pname ~costs ~stats:sts ops =
       next_corr = 0;
       req_waiters = [];
       handlers = Hashtbl.create 16;
+      screening;
+      seen = Hashtbl.create 16;
       rr_last = -1;
       link_hooks = [];
       terminated = false;

@@ -33,9 +33,19 @@ val make :
   name:string ->
   costs:Costs.t ->
   stats:Sim.Stats.t ->
+  ?screening:Faults.Plan.screening ->
   Backend.ops ->
   t
-(** Creates the process state and starts its dispatcher fiber. *)
+(** Creates the process state and starts its dispatcher fiber.
+
+    [screening] arms the paper's §5 application-layer screening: every
+    {!call} gets a reply timeout with capped exponential backoff and a
+    retry budget (retransmissions reuse the request's correlation id),
+    exhausted budgets raise [Excn.Timeout], and incoming requests are
+    deduplicated at-most-once by (link, correlation id) — a duplicate of
+    a served request is re-answered from a reply cache without running
+    the handler again.  Without it (the default), behaviour is exactly
+    the pre-screening runtime. *)
 
 val finish : t -> unit
 (** Terminates the process: destroys all its links (waking peers with
@@ -78,7 +88,10 @@ val call :
 (** Remote operation: sends a request and blocks the calling thread
     until the reply arrives.  Values may contain link ends, which move
     to the receiver.  Raises [Excn.Link_destroyed], [Excn.Move_violation],
-    [Excn.Remote_error] or [Excn.Type_error]. *)
+    [Excn.Remote_error] or [Excn.Type_error]; with screening armed, also
+    [Excn.Timeout] once the retry budget is exhausted.  Calls that
+    enclose link ends are never retransmitted (the ends move with the
+    first copy) — they get a single, generously-timed attempt. *)
 
 val await_request : t -> ?links:Link.t list -> unit -> incoming
 (** Blocks until a request arrives on one of the given links (all live

@@ -8,6 +8,8 @@ type t = {
   reply_acks : bool;
       (** enable the §3.2.2 top-level reply acknowledgments (an
           ablation: the paper rejected them as too expensive) *)
+  inj : Faults.Injector.t option;
+      (** end-to-end fault injection at the ops seam (ambient plan) *)
 }
 
 type member = {
@@ -24,6 +26,7 @@ let create ?(costs = Lynx.Costs.vax) ?kernel_costs ?(reply_acks = false) ?stats
     sts;
     costs;
     reply_acks;
+    inj = Faults.Injector.of_ambient engine ~stats:sts;
   }
 
 let kernel t = t.kernel
@@ -44,11 +47,34 @@ let spawn t ?daemon ~node ~name body =
          let chan, ops =
            Channel.make ~reply_acks:t.reply_acks t.kernel pid ~stats:t.sts
          in
-         let p = Lynx.Process.make eng ~name ~costs:t.costs ~stats:t.sts ops in
+         (* Under an ambient fault plan: decorate the ops seam, arm the
+            runtime's screening, and make this process a crash
+            candidate.  A screened body failing with a clean LYNX
+            exception (timeout, destroyed link) ends quietly — that is
+            the "cleanly refused" outcome chaos runs assert on. *)
+         let screening = Option.bind t.inj Faults.Injector.screening in
+         let victim =
+           Option.map (fun inj -> Faults.Injector.register_victim inj ~name) t.inj
+         in
+         let ops =
+           match t.inj with
+           | None -> ops
+           | Some inj -> Lynx.Fault_ops.wrap eng ~stats:t.sts inj ?victim ops
+         in
+         let p =
+           Lynx.Process.make eng ~name ~costs:t.costs ~stats:t.sts ?screening ops
+         in
          Sim.Sync.Ivar.fill m.m_chan chan;
          Sim.Sync.Ivar.fill m.m_pid pid;
          Sim.Sync.Ivar.fill m.m_process p;
-         Fun.protect ~finally:(fun () -> Lynx.Process.finish p) (fun () -> body p)));
+         Fun.protect
+           ~finally:(fun () -> Lynx.Process.finish p)
+           (fun () ->
+             if t.inj = None then body p
+             else
+               try body p
+               with e when Lynx.Excn.is_lynx e ->
+                 Sim.Stats.incr t.sts "lynx.bodies_screened")));
   m
 
 (** Creates a link with one end in each process — the bootstrap link a

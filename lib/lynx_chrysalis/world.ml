@@ -4,6 +4,8 @@ type t = {
   kernel : Chrysalis.Kernel.t;
   sts : Sim.Stats.t;
   costs : Lynx.Costs.t;
+  inj : Faults.Injector.t option;
+      (** end-to-end fault injection at the ops seam (ambient plan) *)
 }
 
 (** A spawned LYNX process; the ivars fill once the process has
@@ -19,6 +21,7 @@ let create ?(costs = Lynx.Costs.m68000) ?stats engine ~nodes =
     kernel = Chrysalis.Kernel.create engine ~stats:sts ~processors:nodes ();
     sts;
     costs;
+    inj = Faults.Injector.of_ambient engine ~stats:sts;
   }
 
 let kernel t = t.kernel
@@ -36,10 +39,30 @@ let spawn t ?daemon ~node ~name body =
   ignore
     (Chrysalis.Kernel.spawn_process t.kernel ?daemon ~node ~name (fun pid ->
          let chan, ops = Channel.make t.kernel pid ~stats:t.sts in
-         let p = Lynx.Process.make eng ~name ~costs:t.costs ~stats:t.sts ops in
+         (* See Lynx_charlotte.World.spawn: ops decoration, screening
+            and crash candidacy under an ambient fault plan. *)
+         let screening = Option.bind t.inj Faults.Injector.screening in
+         let victim =
+           Option.map (fun inj -> Faults.Injector.register_victim inj ~name) t.inj
+         in
+         let ops =
+           match t.inj with
+           | None -> ops
+           | Some inj -> Lynx.Fault_ops.wrap eng ~stats:t.sts inj ?victim ops
+         in
+         let p =
+           Lynx.Process.make eng ~name ~costs:t.costs ~stats:t.sts ?screening ops
+         in
          Sim.Sync.Ivar.fill m.m_chan chan;
          Sim.Sync.Ivar.fill m.m_process p;
-         Fun.protect ~finally:(fun () -> Lynx.Process.finish p) (fun () -> body p)));
+         Fun.protect
+           ~finally:(fun () -> Lynx.Process.finish p)
+           (fun () ->
+             if t.inj = None then body p
+             else
+               try body p
+               with e when Lynx.Excn.is_lynx e ->
+                 Sim.Stats.incr t.sts "lynx.bodies_screened")));
   m
 
 (** Creates a link with one end in each process — the bootstrap link a

@@ -10,11 +10,12 @@ type t = {
   broadcast_loss : float;
   rng : Rng.t;
   n_stations : int;
+  faults : Faults.Injector.t option;
   mutable busy_until : Time.t;
 }
 
 let create engine ?stats ?byte_time ?frame_overhead ?slot ?(max_backoff_exp = 6)
-    ?(broadcast_loss = 0.05) ~rng ~stations () =
+    ?(broadcast_loss = 0.05) ?faults ~rng ~stations () =
   if stations <= 0 then invalid_arg "Csma_bus.create: stations";
   {
     engine;
@@ -27,6 +28,7 @@ let create engine ?stats ?byte_time ?frame_overhead ?slot ?(max_backoff_exp = 6)
     broadcast_loss;
     rng;
     n_stations = stations;
+    faults;
     busy_until = Time.zero;
   }
 
@@ -58,6 +60,11 @@ let transmit t ~src ~dst ~duration ~on_delivered =
   if src < 0 || src >= t.n_stations || dst < 0 || dst >= t.n_stations then
     invalid_arg "Csma_bus.transmit: bad station";
   Stats.incr t.stats "csma.frames";
+  let on_delivered =
+    Faults.Injector.wrap_delivery t.faults ~src ~dst
+      ~obj:(Printf.sprintf "bus:%d->%d" src dst)
+      ~op:"frame" on_delivered
+  in
   if src = dst then Engine.schedule_after t.engine duration on_delivered
   else begin
     let start = acquire t ~duration in
@@ -73,9 +80,18 @@ let broadcast t ~src ~duration ~on_delivered =
   for station = 0 to t.n_stations - 1 do
     if station <> src then
       if Rng.bool t.rng t.broadcast_loss then
-        Stats.incr t.stats "csma.broadcast_losses"
+        (* Medium loss is part of the model ("unreliable broadcast"),
+           not an injected fault, but it flows through the same typed
+           event so traces and analyses see the drop. *)
+        Faults.transport_loss t.engine t.stats ~counter:"csma.broadcast_losses"
+          ~obj:(Printf.sprintf "bus:%d->%d" src station)
+          ~op:"broadcast"
       else
-        Engine.schedule_at t.engine finish (fun () -> on_delivered station)
+        Engine.schedule_at t.engine finish
+          (Faults.Injector.wrap_delivery t.faults ~src ~dst:station
+             ~obj:(Printf.sprintf "bus:%d->%d" src station)
+             ~op:"broadcast"
+             (fun () -> on_delivered station))
   done
 
 let stats t = t.stats

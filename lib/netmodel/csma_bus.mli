@@ -17,6 +17,7 @@ val create :
   ?slot:Sim.Time.t ->
   ?max_backoff_exp:int ->
   ?broadcast_loss:float ->
+  ?faults:Faults.Injector.t ->
   rng:Sim.Rng.t ->
   stations:int ->
   unit ->
@@ -28,7 +29,8 @@ val frame_time : t -> bytes:int -> Sim.Time.t
 val transmit :
   t -> src:int -> dst:int -> duration:Sim.Time.t -> on_delivered:(unit -> unit) -> unit
 (** Point-to-point frame: delivered exactly once (the kernels' request /
-    retry machinery provides reliability above this). *)
+    retry machinery provides reliability above this) — unless a fault
+    injector was supplied, which may delay or duplicate the delivery. *)
 
 val broadcast :
   t -> src:int -> duration:Sim.Time.t -> on_delivered:(int -> unit) -> unit

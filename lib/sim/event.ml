@@ -9,6 +9,8 @@ type kind =
   | Signal_seen of { obj : string }
   | Wait of { obj : string }
   | Link_move of { obj : string }
+  | Drop of { obj : string; op : string }
+  | Fault of { what : string; obj : string }
 
 type t = {
   ev_time : Time.t;
@@ -24,7 +26,9 @@ let obj t =
   | Signal { obj; _ }
   | Signal_seen { obj }
   | Wait { obj }
-  | Link_move { obj } ->
+  | Link_move { obj }
+  | Drop { obj; _ }
+  | Fault { obj; _ } ->
     Some obj
   | Spawn _ | Crash _ | Note _ | Block _ -> None
 
@@ -38,7 +42,7 @@ let legacy_render t =
     Some (Printf.sprintf "crash #%d %s: %s" fid name error)
   | Note msg -> Some msg
   | Block _ | Send _ | Receive _ | Signal _ | Signal_seen _ | Wait _
-  | Link_move _ ->
+  | Link_move _ | Drop _ | Fault _ ->
     None
 
 (* Stable small integers for the cheap event-stream fingerprint the
@@ -56,6 +60,8 @@ let kind_tag = function
   | Signal_seen _ -> 8
   | Wait _ -> 9
   | Link_move _ -> 10
+  | Drop _ -> 11
+  | Fault _ -> 12
 
 let kind_to_string = function
   | Spawn { fid; name } -> Printf.sprintf "spawn #%d %s" fid name
@@ -70,6 +76,8 @@ let kind_to_string = function
   | Signal_seen { obj } -> Printf.sprintf "signal-seen %s" obj
   | Wait { obj } -> Printf.sprintf "wait %s" obj
   | Link_move { obj } -> Printf.sprintf "link-move %s" obj
+  | Drop { obj; op } -> Printf.sprintf "drop %s op=%s" obj op
+  | Fault { what; obj } -> Printf.sprintf "fault %s %s" what obj
 
 let describe t =
   Printf.sprintf "[%.3fms #%d %s] %s" (Time.to_ms t.ev_time) t.ev_fiber

@@ -29,6 +29,12 @@ type kind =
           point of a lost-signal window) *)
   | Link_move of { obj : string }
       (** a link end of the kernel object [obj] was adopted after moving *)
+  | Drop of { obj : string; op : string }
+      (** a frame on the transport named [obj] was lost — either an
+          injected fault or modeled medium loss (CSMA broadcast) *)
+  | Fault of { what : string; obj : string }
+      (** a non-drop injected fault fired on [obj]: ["dup"], ["delay"],
+          ["partition"], ["crash"], ["restart"], ... *)
 
 type t = {
   ev_time : Time.t;
