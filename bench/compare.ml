@@ -1,12 +1,17 @@
 (* Perf-regression gate over BENCH_sim.json.
 
    usage:  compare.exe BASELINE FRESH
+           compare.exe --check FILE [SCHEMA]
 
    Fails (exit 1) if any micro benchmark present in both files got
    slower by more than the gate percentage — default 25, overridable
    with BENCH_GATE_PCT.  The explore-sweep wall times are printed for
    context but not gated: they depend on the runner's core count and
    load in a way ns-per-iter slopes do not.
+
+   --check only parses FILE (optionally asserting its "schema" field)
+   and exits 0 — CI uses it to validate lynx_sim's --json artifacts,
+   which are emitted in the same JSON subset.
 
    The parser covers exactly the JSON subset the bench emits (objects,
    strings, numbers) so the repo needs no JSON dependency. *)
@@ -133,12 +138,39 @@ let numbers_under key = function
     | _ -> [])
   | _ -> []
 
+(* Parse-only mode: assert FILE is well-formed (and, when SCHEMA is
+   given, that its top-level "schema" field matches).  lynx_sim's
+   --json artifact output stays inside this parser's subset by
+   construction; CI pins that with `--check repro.json lynx-run/1`. *)
+let check path schema =
+  match (read_json path, schema) with
+  | _, None -> Printf.printf "%s: parses\n" path
+  | Obj fields, Some want -> (
+    match List.assoc_opt "schema" fields with
+    | Some (Str got) when got = want ->
+      Printf.printf "%s: parses, schema %s\n" path got
+    | Some (Str got) ->
+      Printf.eprintf "%s: schema %S, wanted %S\n" path got want;
+      exit 1
+    | _ ->
+      Printf.eprintf "%s: no schema field\n" path;
+      exit 1)
+  | _, Some _ ->
+    Printf.eprintf "%s: top level is not an object\n" path;
+    exit 1
+
 let () =
   let base_path, fresh_path =
     match Sys.argv with
+    | [| _; "--check"; f |] ->
+      check f None;
+      exit 0
+    | [| _; "--check"; f; schema |] ->
+      check f (Some schema);
+      exit 0
     | [| _; b; f |] -> (b, f)
     | _ ->
-      prerr_endline "usage: compare.exe BASELINE FRESH";
+      prerr_endline "usage: compare.exe BASELINE FRESH | --check FILE [SCHEMA]";
       exit 2
   in
   let gate_pct =

@@ -3,32 +3,53 @@
    Subcommands:
      rpc       measure a simple remote operation on one backend
      scenario  run one of the paper's qualitative scenarios
-     sweep     latency vs payload for two backends (crossover hunting)
-     backends  list available backends *)
+     sweep     latency vs payload across the backends (crossover hunting)
+     repair    SODA hint-repair / pair-pressure demonstrations
+     explore   scenario x backend x seed x policy sweep with invariants
+     chaos     the same sweep under fault plans
+     lint      static protocol linter
+     races     happens-before race detector replay
+     repro     re-run any spec string and dump its full artifact
+     backends  list available backends
+
+   Every sweep row is identified by a run spec
+   "scenario/backend/seed/policy[@plan]" (see lib/run): `repro` accepts
+   exactly that string from any table, log or CI failure, and --json on
+   explore/chaos/races emits the judged artifacts machine-readably. *)
 
 open Cmdliner
+module BW = Harness.Backend_world
+module S = Harness.Scenarios
 
 let backend_conv =
   let parse s =
-    match Harness.Backend_world.find s with
+    match BW.find s with
     | Some b -> Ok b
     | None -> Error (`Msg (Printf.sprintf "unknown backend %S" s))
   in
-  let print ppf (module W : Harness.Backend_world.WORLD) =
-    Format.pp_print_string ppf W.name
-  in
+  let print ppf (module W : BW.WORLD) = Format.pp_print_string ppf W.name in
   Arg.conv (parse, print)
 
 let backend_arg =
-  let doc = "Backend: charlotte, soda or chrysalis." in
+  let doc =
+    "Backend: charlotte, soda or chrysalis, or an ablation variant \
+     (charlotte+acks, charlotte+hints, chrysalis+tuned)."
+  in
   Arg.(
     value
-    & opt backend_conv Harness.Backend_world.chrysalis
+    & opt backend_conv BW.chrysalis
     & info [ "b"; "backend" ] ~docv:"BACKEND" ~doc)
 
 let seed_arg =
   let doc = "Simulation seed (runs are deterministic per seed)." in
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let json_arg =
+  let doc =
+    "Emit the judged run artifacts as JSON (the subset \
+     bench/compare.exe parses) instead of the human tables."
+  in
+  Arg.(value & flag & info [ "json" ] ~doc)
 
 (* ---- rpc ------------------------------------------------------------- *)
 
@@ -46,7 +67,7 @@ let rpc_cmd =
   let verbose =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print counter activity.")
   in
-  let run (module W : Harness.Backend_world.WORLD) payload iters seed verbose =
+  let run (module W : BW.WORLD) payload iters seed verbose =
     let r = Harness.Rpc_bench.run (module W) ~payload ~iters ~seed () in
     Printf.printf
       "%s: simple remote operation, %d bytes each way, %d iterations\n" W.name
@@ -68,25 +89,15 @@ let rpc_cmd =
 
 (* ---- scenario --------------------------------------------------------- *)
 
-let scenarios =
-  [
-    ("move", `Move);
-    ("enclosures", `Enclosures);
-    ("cross-request", `Cross);
-    ("open-close", `Race);
-    ("lost-enclosure", `Lost);
-  ]
-
 let scenario_cmd =
   let scenario_name =
     let doc =
-      "Scenario: move (figure 1), enclosures (figure 2), cross-request \
-       (§3.2.1), open-close (§3.2.1), lost-enclosure (§3.2.2)."
+      "Scenario name, one of the registry: move (figure 1), enclosures \
+       (figure 2), cross-request (§3.2.1), open-close (§3.2.1), \
+       lost-enclosure (§3.2.2), bounced-enclosure, hint-repair (SODA), \
+       pair-pressure (SODA)."
     in
-    Arg.(
-      required
-      & pos 0 (some (Arg.enum scenarios)) None
-      & info [] ~docv:"SCENARIO" ~doc)
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"SCENARIO" ~doc)
   in
   let encl =
     Arg.(
@@ -94,98 +105,42 @@ let scenario_cmd =
       & info [ "k"; "enclosures" ] ~docv:"K"
           ~doc:"Enclosure count for the enclosures scenario.")
   in
-  let run (module W : Harness.Backend_world.WORLD) which encl seed =
+  let run (module W : BW.WORLD) name encl seed =
+    let sc =
+      match S.find name with
+      | Some sc -> sc
+      | None ->
+        Printf.eprintf "unknown scenario %S (have: %s)\n" name
+          (String.concat ", " S.names);
+        exit 2
+    in
+    if not (S.applies sc (module W)) then begin
+      Printf.eprintf "scenario %s does not apply to backend %s\n" name W.name;
+      exit 2
+    end;
     let o =
-      match which with
-      | `Move -> Harness.Scenarios.simultaneous_move ~seed (module W)
-      | `Enclosures -> Harness.Scenarios.enclosure_protocol ~seed ~n_encl:encl (module W)
-      | `Cross -> Harness.Scenarios.cross_request ~seed (module W)
-      | `Race -> Harness.Scenarios.open_close_race ~seed (module W)
-      | `Lost -> Harness.Scenarios.lost_enclosure ~seed (module W)
+      (* The registry runner fixes n_encl at the sweep default; the CLI
+         keeps its -k knob by calling the scenario directly. *)
+      if name = "enclosures" then
+        S.enclosure_protocol ~seed ~n_encl:encl (module W)
+      else
+        S.run sc ~seed ~policy:Sim.Engine.Fifo ~legacy_trace:true (module W)
     in
     Printf.printf "%s: %s (%.2f ms simulated)\n" W.name
-      (if o.Harness.Scenarios.o_ok then "ok" else "FAILED")
-      (Sim.Time.to_ms o.Harness.Scenarios.o_duration);
-    Printf.printf "  detail: %s\n" o.Harness.Scenarios.o_detail;
+      (if o.S.o_ok then "ok" else "FAILED")
+      (Sim.Time.to_ms o.S.o_duration);
+    Printf.printf "  detail: %s\n" o.S.o_detail;
     print_endline "  counter activity:";
     List.iter
       (fun (k, v) -> if v <> 0 then Printf.printf "    %-44s %d\n" k v)
-      o.Harness.Scenarios.o_counters;
-    if not o.Harness.Scenarios.o_ok then exit 1
+      o.S.o_counters;
+    if not o.S.o_ok then exit 1
   in
   Cmd.v
     (Cmd.info "scenario" ~doc:"Run one of the paper's qualitative scenarios.")
     Term.(const run $ backend_arg $ scenario_name $ encl $ seed_arg)
 
-(* ---- sweep ------------------------------------------------------------- *)
-
-let sweep_cmd =
-  let lo = Arg.(value & opt int 0 & info [ "from" ] ~docv:"BYTES" ~doc:"Start payload.") in
-  let hi = Arg.(value & opt int 2500 & info [ "to" ] ~docv:"BYTES" ~doc:"End payload.") in
-  let step = Arg.(value & opt int 250 & info [ "step" ] ~docv:"BYTES" ~doc:"Step.") in
-  let run lo hi step seed =
-    let rec payloads p = if p > hi then [] else p :: payloads (p + step) in
-    let rows =
-      List.map
-        (fun p ->
-          let c =
-            Harness.Rpc_bench.mean_ms
-              (Harness.Rpc_bench.run Harness.Backend_world.charlotte ~payload:p ~seed ())
-          in
-          let s =
-            Harness.Rpc_bench.mean_ms
-              (Harness.Rpc_bench.run Harness.Backend_world.soda ~payload:p ~seed ())
-          in
-          let b =
-            Harness.Rpc_bench.mean_ms
-              (Harness.Rpc_bench.run Harness.Backend_world.chrysalis ~payload:p ~seed ())
-          in
-          [
-            string_of_int p;
-            Metrics.Report.ms c;
-            Metrics.Report.ms s;
-            Metrics.Report.ms b;
-          ])
-        (payloads lo)
-    in
-    Metrics.Report.table
-      ~header:[ "payload"; "charlotte"; "soda"; "chrysalis" ]
-      rows
-  in
-  Cmd.v
-    (Cmd.info "sweep" ~doc:"Latency vs payload on all three backends.")
-    Term.(const run $ lo $ hi $ step $ seed_arg)
-
-(* ---- repair: SODA hint-repair / pair-pressure demonstrations ------------- *)
-
-let repair_cmd =
-  let loss =
-    Arg.(
-      value & opt float 0.05
-      & info [ "loss" ] ~docv:"P" ~doc:"Broadcast loss probability (0..1).")
-  in
-  let run loss seed =
-    let o = Harness.Scenarios.soda_hint_repair ~seed ~broadcast_loss:loss () in
-    Printf.printf "hint repair at %.0f%%%% loss: %s
-" (loss *. 100.)
-      o.Harness.Scenarios.o_detail;
-    Printf.printf "  discover attempts: %d   freeze searches: %d
-"
-      (Harness.Scenarios.counter o "lynx_soda.discover_attempts")
-      (Harness.Scenarios.counter o "lynx_soda.freeze_searches");
-    let budgeted = Harness.Scenarios.soda_pair_pressure ~seed ~budget:true () in
-    let naive = Harness.Scenarios.soda_pair_pressure ~seed ~budget:false () in
-    Printf.printf "pair pressure (6 links): %s  vs naive: %s
-"
-      budgeted.Harness.Scenarios.o_detail naive.Harness.Scenarios.o_detail;
-    if not o.Harness.Scenarios.o_ok then exit 1
-  in
-  Cmd.v
-    (Cmd.info "repair"
-       ~doc:"SODA hint repair under broadcast loss, and the §4.2.1 budget.")
-    Term.(const run $ loss $ seed_arg)
-
-(* ---- explore: schedule exploration with invariant checking ---------------- *)
+(* ---- jobs flag -------------------------------------------------------- *)
 
 let jobs_arg =
   let doc =
@@ -196,6 +151,98 @@ let jobs_arg =
     value
     & opt int (Parallel.Pool.default_jobs ())
     & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+(* ---- sweep ------------------------------------------------------------- *)
+
+let sweep_cmd =
+  let lo = Arg.(value & opt int 0 & info [ "from" ] ~docv:"BYTES" ~doc:"Start payload.") in
+  let hi = Arg.(value & opt int 2500 & info [ "to" ] ~docv:"BYTES" ~doc:"End payload.") in
+  let step = Arg.(value & opt int 250 & info [ "step" ] ~docv:"BYTES" ~doc:"Step.") in
+  let run lo hi step seed jobs =
+    let rec payloads p = if p > hi then [] else p :: payloads (p + step) in
+    let rows = Harness.Rpc_bench.sweep ~jobs ~seed ~payloads:(payloads lo) () in
+    Metrics.Report.table
+      ~header:("payload" :: BW.names)
+      (List.map
+         (fun row ->
+           match row with
+           | [] -> []
+           | first :: _ ->
+             string_of_int first.Harness.Rpc_bench.r_payload
+             :: List.map
+                  (fun r ->
+                    Metrics.Report.ms (Harness.Rpc_bench.mean_ms r))
+                  row)
+         rows)
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Latency vs payload on all three backends.")
+    Term.(const run $ lo $ hi $ step $ seed_arg $ jobs_arg)
+
+(* ---- repair: SODA hint-repair / pair-pressure demonstrations ------------- *)
+
+let repair_cmd =
+  let loss =
+    Arg.(
+      value & opt float 0.05
+      & info [ "loss" ] ~docv:"P" ~doc:"Broadcast loss probability (0..1).")
+  in
+  let run loss seed =
+    let o = S.soda_hint_repair ~seed ~broadcast_loss:loss () in
+    Printf.printf "hint repair at %.0f%%%% loss: %s
+" (loss *. 100.)
+      o.S.o_detail;
+    Printf.printf "  discover attempts: %d   freeze searches: %d
+"
+      (S.counter o "lynx_soda.discover_attempts")
+      (S.counter o "lynx_soda.freeze_searches");
+    let budgeted = S.soda_pair_pressure ~seed ~budget:true () in
+    let naive = S.soda_pair_pressure ~seed ~budget:false () in
+    Printf.printf "pair pressure (6 links): %s  vs naive: %s
+"
+      budgeted.S.o_detail naive.S.o_detail;
+    if not o.S.o_ok then exit 1
+  in
+  Cmd.v
+    (Cmd.info "repair"
+       ~doc:"SODA hint repair under broadcast loss, and the §4.2.1 budget.")
+    Term.(const run $ loss $ seed_arg)
+
+(* ---- shared filter validation --------------------------------------------- *)
+
+let check_names what names have =
+  List.iter
+    (fun s ->
+      if not (List.mem s have) then begin
+        Printf.eprintf "unknown %s %S (have: %s)\n" what s
+          (String.concat ", " have);
+        exit 2
+      end)
+    names
+
+let scenario_filter =
+  let doc = "Restrict to one scenario; repeatable." in
+  Arg.(value & opt_all string [] & info [ "scenario" ] ~docv:"SCENARIO" ~doc)
+
+let backend_filter =
+  let doc = "Restrict to one backend; repeatable." in
+  Arg.(value & opt_all string [] & info [ "backend" ] ~docv:"BACKEND" ~doc)
+
+let resolve_filter what filter have =
+  if filter = [] then have
+  else begin
+    check_names what filter have;
+    filter
+  end
+
+(* Emit the judged artifacts of a spec list as JSON and return the
+   failing subset per [failed]. *)
+let json_sweep ~jobs ~failed specs =
+  let artifacts = List.filter_map Fun.id (Run.execute_many ~jobs specs) in
+  print_string (Run.Artifact.list_to_json artifacts);
+  List.filter failed artifacts
+
+(* ---- explore: schedule exploration with invariant checking ---------------- *)
 
 let explore_cmd =
   let seeds =
@@ -219,64 +266,44 @@ let explore_cmd =
     let doc = "Scheduling policy to explore (fifo, random, jitter); repeatable." in
     Arg.(value & opt_all policy_conv [] & info [ "policy" ] ~docv:"POLICY" ~doc)
   in
-  let scenario_filter =
-    let doc = "Restrict to one scenario; repeatable." in
-    Arg.(value & opt_all string [] & info [ "scenario" ] ~docv:"SCENARIO" ~doc)
-  in
-  let backend_filter =
-    let doc = "Restrict to one backend; repeatable." in
-    Arg.(value & opt_all string [] & info [ "backend" ] ~docv:"BACKEND" ~doc)
-  in
-  let run n policies scenario_filter backend_filter jobs =
+  let run n policies scenario_filter backend_filter jobs json =
     let module D = Explore.Driver in
     let seeds = List.init (max n 0) (fun i -> i + 1) in
     let policies = if policies = [] then D.all_policies else policies in
-    let scenarios =
-      if scenario_filter = [] then D.scenario_names
-      else begin
+    let scenarios = resolve_filter "scenario" scenario_filter D.scenario_names in
+    let backends = resolve_filter "backend" backend_filter D.backend_names in
+    if json then begin
+      let specs =
+        D.cases ~scenarios ~backends ~seeds ~policies ()
+        |> List.map (fun c -> D.spec c)
+      in
+      if specs = [] then begin
+        prerr_endline "no runs selected";
+        exit 2
+      end;
+      if json_sweep ~jobs ~failed:Run.Artifact.strict_failed specs <> [] then
+        exit 1
+    end
+    else begin
+      let results = D.sweep ~jobs ~scenarios ~backends ~seeds ~policies () in
+      if results = [] then begin
+        print_endline "no runs selected";
+        exit 2
+      end;
+      Printf.printf "explored %d runs (%d scenarios, %d backends, %d seeds, %d policies)\n\n"
+        (List.length results) (List.length scenarios) (List.length backends)
+        (List.length seeds) (List.length policies);
+      print_string (D.summary results);
+      match D.failures results with
+      | [] -> print_endline "\nall invariants held on every run"
+      | fails ->
+        Printf.printf "\n%d failing runs; repro dumps follow\n\n"
+          (List.length fails);
         List.iter
-          (fun s ->
-            if not (List.mem s D.scenario_names) then begin
-              Printf.eprintf "unknown scenario %S (have: %s)\n" s
-                (String.concat ", " D.scenario_names);
-              exit 2
-            end)
-          scenario_filter;
-        scenario_filter
-      end
-    in
-    let backends =
-      if backend_filter = [] then D.backend_names
-      else begin
-        List.iter
-          (fun b ->
-            if not (List.mem b D.backend_names) then begin
-              Printf.eprintf "unknown backend %S (have: %s)\n" b
-                (String.concat ", " D.backend_names);
-              exit 2
-            end)
-          backend_filter;
-        backend_filter
-      end
-    in
-    let results = D.sweep ~jobs ~scenarios ~backends ~seeds ~policies () in
-    if results = [] then begin
-      print_endline "no runs selected";
-      exit 2
-    end;
-    Printf.printf "explored %d runs (%d scenarios, %d backends, %d seeds, %d policies)\n\n"
-      (List.length results) (List.length scenarios) (List.length backends)
-      (List.length seeds) (List.length policies);
-    print_string (D.summary results);
-    match D.failures results with
-    | [] -> print_endline "\nall invariants held on every run"
-    | fails ->
-      Printf.printf "\n%d failing runs; repro dumps follow\n\n"
-        (List.length fails);
-      List.iter
-        (fun r -> print_string (D.repro r.D.r_case); print_newline ())
-        fails;
-      exit 1
+          (fun r -> print_string (D.repro r.D.r_case); print_newline ())
+          fails;
+        exit 1
+    end
   in
   Cmd.v
     (Cmd.info "explore"
@@ -285,7 +312,7 @@ let explore_cmd =
           all invariants, and dump a deterministic repro for any failure.")
     Term.(
       const run $ seeds $ policies $ scenario_filter $ backend_filter
-      $ jobs_arg)
+      $ jobs_arg $ json_arg)
 
 (* ---- chaos: fault-injection sweep ----------------------------------------- *)
 
@@ -317,19 +344,12 @@ let chaos_cmd =
   let plans =
     let doc =
       "Fault plan to inject (drop, duplicate, delay, crash-restart, \
-       partition, mix); repeatable.  Default: all of them."
+       partition, mix; also screen = no faults, screening armed); \
+       repeatable.  Default: every fault-injecting plan."
     in
     Arg.(value & opt_all plan_conv [] & info [ "plan" ] ~docv:"PLAN" ~doc)
   in
-  let scenario_filter =
-    let doc = "Restrict to one scenario; repeatable." in
-    Arg.(value & opt_all string [] & info [ "scenario" ] ~docv:"SCENARIO" ~doc)
-  in
-  let backend_filter =
-    let doc = "Restrict to one backend; repeatable." in
-    Arg.(value & opt_all string [] & info [ "backend" ] ~docv:"BACKEND" ~doc)
-  in
-  let run n one_seed plans scenario_filter backend_filter jobs =
+  let run n one_seed plans scenario_filter backend_filter jobs json =
     let module D = Explore.Driver in
     let module C = Explore.Chaos in
     let seeds =
@@ -338,51 +358,43 @@ let chaos_cmd =
       | None -> List.init (max n 0) (fun i -> i + 1)
     in
     let plans = if plans = [] then C.all_plans else plans in
-    let check_names what names have =
-      List.iter
-        (fun s ->
-          if not (List.mem s have) then begin
-            Printf.eprintf "unknown %s %S (have: %s)\n" what s
-              (String.concat ", " have);
-            exit 2
-          end)
-        names
-    in
-    let scenarios =
-      if scenario_filter = [] then D.scenario_names
-      else begin
-        check_names "scenario" scenario_filter D.scenario_names;
-        scenario_filter
-      end
-    in
-    let backends =
-      if backend_filter = [] then D.backend_names
-      else begin
-        check_names "backend" backend_filter D.backend_names;
-        backend_filter
-      end
-    in
-    let results = C.sweep ~jobs ~scenarios ~backends ~seeds ~plans () in
-    if results = [] then begin
-      print_endline "no runs selected";
-      exit 2
-    end;
-    Printf.printf
-      "chaos: %d runs (%d scenarios, %d backends, %d seeds, %d plans)\n\n"
-      (List.length results) (List.length scenarios) (List.length backends)
-      (List.length seeds) (List.length plans);
-    print_string (C.table results);
-    print_newline ();
-    print_string (C.summary results);
-    match C.failures results with
-    | [] -> print_endline "\nall invariants held on every faulted run"
-    | fails ->
-      Printf.printf "\n%d failing runs; repro dumps follow\n\n"
-        (List.length fails);
-      List.iter
-        (fun r -> print_string (C.repro r.C.h_case); print_newline ())
-        fails;
-      exit 1
+    let scenarios = resolve_filter "scenario" scenario_filter D.scenario_names in
+    let backends = resolve_filter "backend" backend_filter D.backend_names in
+    if json then begin
+      let specs =
+        C.cases ~scenarios ~backends ~seeds ~plans ()
+        |> List.map (fun c -> C.spec c)
+      in
+      if specs = [] then begin
+        prerr_endline "no runs selected";
+        exit 2
+      end;
+      if json_sweep ~jobs ~failed:Run.Artifact.anomalous specs <> [] then
+        exit 1
+    end
+    else begin
+      let results = C.sweep ~jobs ~scenarios ~backends ~seeds ~plans () in
+      if results = [] then begin
+        print_endline "no runs selected";
+        exit 2
+      end;
+      Printf.printf
+        "chaos: %d runs (%d scenarios, %d backends, %d seeds, %d plans)\n\n"
+        (List.length results) (List.length scenarios) (List.length backends)
+        (List.length seeds) (List.length plans);
+      print_string (C.table results);
+      print_newline ();
+      print_string (C.summary results);
+      match C.failures results with
+      | [] -> print_endline "\nall invariants held on every faulted run"
+      | fails ->
+        Printf.printf "\n%d failing runs; repro dumps follow\n\n"
+          (List.length fails);
+        List.iter
+          (fun r -> print_string (C.repro r.C.h_case); print_newline ())
+          fails;
+        exit 1
+    end
   in
   Cmd.v
     (Cmd.info "chaos"
@@ -392,7 +404,7 @@ let chaos_cmd =
           retry/timeout screening armed, and check every invariant.")
     Term.(
       const run $ seeds $ one_seed $ plans $ scenario_filter
-      $ backend_filter $ jobs_arg)
+      $ backend_filter $ jobs_arg $ json_arg)
 
 (* ---- lint: static protocol linter ---------------------------------------- *)
 
@@ -447,69 +459,176 @@ let lint_cmd =
 (* ---- races: happens-before race detector ---------------------------------- *)
 
 let races_cmd =
-  let scenario_filter =
-    let doc = "Restrict to one scenario; repeatable." in
-    Arg.(value & opt_all string [] & info [ "scenario" ] ~docv:"SCENARIO" ~doc)
-  in
-  let run (module W : Harness.Backend_world.WORLD) names seed jobs =
-    let module D = Explore.Driver in
-    let names = if names = [] then D.scenario_names else names in
-    List.iter
-      (fun n ->
-        if not (List.mem n D.scenario_names) then begin
-          Printf.eprintf "unknown scenario %S (have: %s)\n" n
-            (String.concat ", " D.scenario_names);
-          exit 2
-        end)
-      names;
-    (* Run every scenario replay on the pool, then print in scenario
-       order — jobs never print, so the report is identical at any -j. *)
-    let results =
-      Parallel.Pool.map_list ~jobs
+  let run (module W : BW.WORLD) names seed jobs json =
+    let names = if names = [] then S.names else names in
+    check_names "scenario" names S.names;
+    let specs =
+      List.map
         (fun sc ->
-          let case =
-            { D.c_scenario = sc; c_backend = W.name; c_seed = seed;
-              c_policy = D.Fifo }
-          in
-          (sc, D.run_case ~legacy_trace:false case))
+          Run.Spec.v ~policy:Run.Spec.Fifo ~scenario:sc ~backend:W.name seed)
         names
     in
-    let total = ref 0 in
-    List.iter
-      (fun (sc, r) ->
-        match r with
-        | None -> Printf.printf "%-20s n/a on %s\n" sc W.name
-        | Some r ->
-          let races = r.D.r_races in
-          total := !total + List.length races;
-          if races = [] then Printf.printf "%-20s clean\n" sc
-          else begin
-            Printf.printf "%-20s %d race(s)\n" sc (List.length races);
-            List.iter
-              (fun f -> Format.printf "  %a@." Analysis.Races.pp_finding f)
-              races
-          end)
-      results;
-    if !total > 0 then exit 1
+    (* Run every scenario replay on the pool, then print in scenario
+       order — jobs never print, so the report is identical at any -j. *)
+    let artifacts = Run.execute_many ~jobs specs in
+    if json then begin
+      print_string
+        (Run.Artifact.list_to_json (List.filter_map Fun.id artifacts));
+      if
+        List.exists
+          (function
+            | Some a -> a.Run.Artifact.races <> []
+            | None -> false)
+          artifacts
+      then exit 1
+    end
+    else begin
+      let total = ref 0 in
+      List.iter2
+        (fun sc a ->
+          match a with
+          | None -> Printf.printf "%-20s n/a on %s\n" sc W.name
+          | Some a ->
+            let races = a.Run.Artifact.races in
+            total := !total + List.length races;
+            if races = [] then Printf.printf "%-20s clean\n" sc
+            else begin
+              Printf.printf "%-20s %d race(s)\n" sc (List.length races);
+              List.iter
+                (fun f -> Format.printf "  %a@." Analysis.Races.pp_finding f)
+                races
+            end)
+        names artifacts;
+      if !total > 0 then exit 1
+    end
   in
   Cmd.v
     (Cmd.info "races"
        ~doc:
          "Replay scenarios and run the happens-before race detector over the \
           structured event stream.")
-    Term.(const run $ backend_arg $ scenario_filter $ seed_arg $ jobs_arg)
+    Term.(
+      const run $ backend_arg $ scenario_filter $ seed_arg $ jobs_arg
+      $ json_arg)
+
+(* ---- repro: re-run any spec and dump its artifact -------------------------- *)
+
+let repro_cmd =
+  let spec_arg =
+    let doc =
+      "Run spec, as printed by any sweep table or log line: \
+       $(i,scenario/backend/seed/policy[@plan]), e.g. \
+       \"move/chrysalis/3/fifo\" or \"cross-request/soda/2/fifo@drop\".  \
+       The chaos tables' historical \
+       $(i,scenario/backend/seed/plan) form is also accepted."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"SPEC" ~doc)
+  in
+  let run spec_str json =
+    let spec =
+      match Run.Spec.of_string spec_str with
+      | Ok s -> s
+      | Error msg ->
+        prerr_endline msg;
+        exit 2
+    in
+    (* The text dump wants the legacy trace tail; JSON consumers do not
+       (the trace is a rendering of the events the hash already covers). *)
+    let exec_spec =
+      if json then spec else { spec with Run.Spec.legacy_trace = true }
+    in
+    match Run.execute_full exec_spec with
+    | None ->
+      Printf.eprintf "scenario %s does not apply to backend %s\n"
+        spec.Run.Spec.scenario spec.Run.Spec.backend;
+      exit 2
+    | Some (o, a) ->
+      let a = { a with Run.Artifact.spec } in
+      if json then print_string (Run.Artifact.to_json a)
+      else begin
+        let module A = Run.Artifact in
+        Printf.printf "repro %s\n" (Run.Spec.to_string spec);
+        (match spec.Run.Spec.plan with
+        | Some p ->
+          Printf.printf "  plan: %s\n"
+            (Faults.Plan.to_string (Run.Spec.fault_plan p))
+        | None -> ());
+        Printf.printf "  ok=%b  detail: %s\n" a.A.ok a.A.detail;
+        Printf.printf "  duration %s  events hash %016Lx\n"
+          (Sim.Time.to_string a.A.duration)
+          a.A.events_hash;
+        List.iter
+          (fun v ->
+            Printf.printf "  VIOLATION %s\n" (Run.Invariant.to_string v))
+          a.A.violations;
+        List.iter
+          (fun f -> Format.printf "  RACE %a@." Analysis.Races.pp_finding f)
+          a.A.races;
+        let active = List.filter (fun (_, v) -> v <> 0) a.A.counters in
+        if active <> [] then begin
+          print_endline "  counter activity:";
+          List.iter (fun (k, v) -> Printf.printf "    %-44s %d\n" k v) active
+        end;
+        match o with
+        | None -> ()
+        | Some o ->
+          let v = o.S.o_view in
+          let unfinished =
+            List.filter
+              (fun f -> f.Sim.Engine.fi_state <> "finished")
+              v.Sim.Engine.v_fibers
+          in
+          if unfinished <> [] then begin
+            print_endline "  unfinished fibers:";
+            List.iter
+              (fun f ->
+                Printf.printf "    #%d %s%s  %s\n" f.Sim.Engine.fi_id
+                  f.Sim.Engine.fi_name
+                  (if f.Sim.Engine.fi_daemon then " (daemon)" else "")
+                  f.Sim.Engine.fi_state)
+              unfinished
+          end;
+          print_endline "  trace tail:";
+          List.iter
+            (fun (t, msg) ->
+              Printf.printf "    %-12s %s\n" (Sim.Time.to_string t) msg)
+            v.Sim.Engine.v_trace
+      end;
+      (* Same verdict the sweeps use: a faulted run may legitimately
+         miss its scripted finale, so only invariant violations fail
+         it; an unfaulted run must also finish ok and race-free. *)
+      let failed =
+        match spec.Run.Spec.plan with
+        | Some _ -> Run.Artifact.anomalous a
+        | None -> Run.Artifact.strict_failed a
+      in
+      if failed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "repro"
+       ~doc:
+         "Re-run any spec string from a sweep table, test failure or CI \
+          log, and dump its full judged artifact: verdict, invariant \
+          violations, races, counters, events hash and trace tail.")
+    Term.(const run $ spec_arg $ json_arg)
 
 (* ---- backends ------------------------------------------------------------ *)
 
 let backends_cmd =
-  let run () =
+  let all =
+    Arg.(
+      value & flag
+      & info [ "a"; "all" ]
+          ~doc:"Include the ablation variants, not just the three primaries.")
+  in
+  let run all =
     List.iter
-      (fun (module W : Harness.Backend_world.WORLD) -> print_endline W.name)
-      Harness.Backend_world.all
+      (fun (module W : BW.WORLD) -> print_endline W.name)
+      (if all then BW.variants else BW.all)
   in
   Cmd.v
     (Cmd.info "backends" ~doc:"List available backends.")
-    Term.(const run $ const ())
+    Term.(const run $ all)
 
 let () =
   let doc =
@@ -527,5 +646,6 @@ let () =
             chaos_cmd;
             lint_cmd;
             races_cmd;
+            repro_cmd;
             backends_cmd;
           ]))

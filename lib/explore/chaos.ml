@@ -1,34 +1,23 @@
-open Sim
 module S = Harness.Scenarios
 
-type plan_kind = Drop | Duplicate | Delay | Crash_restart | Partition | Mix
+(* The chaos sweep is a thin plan-builder over the run core: each case
+   is a [Run.Spec] carrying a fault plan, executed and judged by
+   [Run.execute] (which also converts a wedged or crashed faulted run
+   into a "no-deadlock" violation artifact — the finding itself). *)
 
-let all_plans = [ Drop; Duplicate; Delay; Crash_restart; Partition; Mix ]
+type plan_kind = Run.Spec.plan =
+  | Screen
+  | Drop
+  | Duplicate
+  | Delay
+  | Crash_restart
+  | Partition
+  | Mix
 
-let plan_kind_name = function
-  | Drop -> "drop"
-  | Duplicate -> "duplicate"
-  | Delay -> "delay"
-  | Crash_restart -> "crash-restart"
-  | Partition -> "partition"
-  | Mix -> "mix"
-
-let plan_kind_of_string = function
-  | "drop" -> Some Drop
-  | "duplicate" -> Some Duplicate
-  | "delay" -> Some Delay
-  | "crash-restart" -> Some Crash_restart
-  | "partition" -> Some Partition
-  | "mix" -> Some Mix
-  | _ -> None
-
-let plan_of = function
-  | Drop -> Faults.Plan.drops
-  | Duplicate -> Faults.Plan.dups
-  | Delay -> Faults.Plan.delays
-  | Crash_restart -> Faults.Plan.crash_restart
-  | Partition -> Faults.Plan.partition
-  | Mix -> Faults.Plan.mix
+let all_plans = Run.Spec.all_plans
+let plan_kind_name = Run.Spec.plan_name
+let plan_kind_of_string = Run.Spec.plan_of_string
+let plan_of = Run.Spec.fault_plan
 
 type case = {
   h_scenario : string;
@@ -47,9 +36,21 @@ type result = {
       (** injected-fault and screening counters for the run *)
 }
 
+(* The historical chaos handle keeps the plan in the policy position;
+   [Run.Spec.of_string] parses it back as the equivalent fifo@plan. *)
 let case_name c =
   Printf.sprintf "%s/%s/%d/%s" c.h_scenario c.h_backend c.h_seed
     (plan_kind_name c.h_plan)
+
+let spec c =
+  {
+    Run.Spec.scenario = c.h_scenario;
+    backend = c.h_backend;
+    seed = c.h_seed;
+    policy = Run.Spec.Fifo;
+    plan = Some c.h_plan;
+    legacy_trace = false;
+  }
 
 let fault_counter_prefixes =
   [ "faults."; "lynx.call_"; "lynx.dup_"; "lynx.bodies_screened" ]
@@ -60,69 +61,17 @@ let fault_counters counters =
       List.exists (fun p -> String.starts_with ~prefix:p k) fault_counter_prefixes)
     counters
 
-(* The invariant suite judges a faulted run exactly as it judges a clean
-   one — that is the point: faults may slow scenarios down or make them
-   miss their scripted finale ([h_ok] false), but they must never
-   deadlock the run, leak fibers, crash threads with non-LYNX errors,
-   break link-end conservation, or deliver a message that was never
-   sent. *)
-let judge case (o : S.outcome) =
-  let dirty =
-    try List.assoc "lynx.thread_exceptions_dirty" o.S.o_counters
-    with Not_found -> 0
-  in
-  let extra =
-    if dirty > 0 then
-      [
-        {
-          Invariant.v_invariant = "clean-failure";
-          v_detail =
-            Printf.sprintf
-              "%d thread(s) died with non-LYNX exceptions under faults" dirty;
-        };
-      ]
-    else []
-  in
+let of_artifact c (a : Run.Artifact.t) =
   {
-    h_case = case;
-    h_ok = o.S.o_ok;
-    h_violations = Invariant.check o @ extra;
-    h_detail = o.S.o_detail;
-    h_events_hash = o.S.o_view.Engine.v_events_hash;
-    h_faults = fault_counters o.S.o_counters;
+    h_case = c;
+    h_ok = a.Run.Artifact.ok;
+    h_violations = a.Run.Artifact.violations;
+    h_detail = a.Run.Artifact.detail;
+    h_events_hash = a.Run.Artifact.events_hash;
+    h_faults = fault_counters a.Run.Artifact.counters;
   }
 
-let driver_case c =
-  {
-    Driver.c_scenario = c.h_scenario;
-    c_backend = c.h_backend;
-    c_seed = c.h_seed;
-    c_policy = Driver.Fifo;
-  }
-
-let run_case c =
-  let plan = plan_of c.h_plan in
-  Faults.with_plan plan (fun () ->
-      match Driver.run_outcome ~legacy_trace:false (driver_case c) with
-      | None -> None
-      | Some o -> Some (judge c o)
-      | exception e ->
-        (* A wedged or crashed run is itself the finding. *)
-        Some
-          {
-            h_case = c;
-            h_ok = false;
-            h_violations =
-              [
-                {
-                  Invariant.v_invariant = "no-deadlock";
-                  v_detail = "run aborted: " ^ Printexc.to_string e;
-                };
-              ];
-            h_detail = Printexc.to_string e;
-            h_events_hash = 0L;
-            h_faults = [];
-          })
+let run_case c = Option.map (of_artifact c) (Run.execute (spec c))
 
 let cases ?(scenarios = Driver.scenario_names) ?(backends = Driver.backend_names)
     ?(seeds = [ 1; 2 ]) ?(plans = all_plans) () =
@@ -142,8 +91,9 @@ let cases ?(scenarios = Driver.scenario_names) ?(backends = Driver.backend_names
    preserves input order — the result list, the fingerprint table and
    the summary are identical at every [jobs] count. *)
 let sweep ?(jobs = 1) ?scenarios ?backends ?seeds ?plans () =
-  cases ?scenarios ?backends ?seeds ?plans ()
-  |> Parallel.Pool.map_list ~jobs run_case
+  let cs = cases ?scenarios ?backends ?seeds ?plans () in
+  Run.execute_many ~jobs (List.map spec cs)
+  |> List.map2 (fun c -> Option.map (of_artifact c)) cs
   |> List.filter_map Fun.id
 
 let failed r = r.h_violations <> []

@@ -17,9 +17,20 @@
     plan) tuple reproduces the same faults, the same verdict and the
     same event-stream fingerprint at any [-j]. *)
 
-type plan_kind = Drop | Duplicate | Delay | Crash_restart | Partition | Mix
+type plan_kind = Run.Spec.plan =
+  | Screen  (** no faults, screening armed — the overhead baseline *)
+  | Drop
+  | Duplicate
+  | Delay
+  | Crash_restart
+  | Partition
+  | Mix
 
 val all_plans : plan_kind list
+(** The fault-injecting plans, in sweep order — the default sweep
+    product.  [Screen] injects nothing and is opt-in by name
+    ([--plan screen]). *)
+
 val plan_kind_name : plan_kind -> string
 val plan_kind_of_string : string -> plan_kind option
 val plan_of : plan_kind -> Faults.Plan.t
@@ -42,7 +53,13 @@ type result = {
 }
 
 val case_name : case -> string
-(** ["scenario/backend/seed/plan"] — the repro handle. *)
+(** ["scenario/backend/seed/plan"] — the historical repro handle;
+    [Run.Spec.of_string] (and so [lynx_sim repro]) parses it back as
+    the equivalent ["scenario/backend/seed/fifo@plan"]. *)
+
+val spec : case -> Run.Spec.t
+(** The case as a universal run spec (FIFO policy, plan armed, no
+    legacy trace). *)
 
 val run_case : case -> result option
 (** [None] when the scenario does not apply to the backend.  A run that

@@ -2,31 +2,17 @@ open Sim
 module BW = Harness.Backend_world
 module S = Harness.Scenarios
 
-type policy_kind = Fifo | Random | Jitter
+(* The driver is a thin plan-builder over the run core: it enumerates
+   the case product, maps [Run.execute] over the domain pool, and
+   renders reports.  All execution, judging and fingerprinting live in
+   lib/run. *)
 
-let policy_kind_name = function
-  | Fifo -> "fifo"
-  | Random -> "random"
-  | Jitter -> "jitter"
+type policy_kind = Run.Spec.policy = Fifo | Random | Jitter
 
-let policy_kind_of_string = function
-  | "fifo" -> Some Fifo
-  | "random" -> Some Random
-  | "jitter" -> Some Jitter
-  | _ -> None
-
-let all_policies = [ Fifo; Random; Jitter ]
-
-(* The jitter bound must stay well under the millisecond-scale timing
-   margins the scenarios are written with: it perturbs which of two
-   nearby events wins a race without rewriting the script. *)
-let jitter_bound = Time.us 20
-
-let engine_policy kind ~seed =
-  match kind with
-  | Fifo -> Engine.Fifo
-  | Random -> Engine.Random_order seed
-  | Jitter -> Engine.Delay_jitter { jitter_seed = seed; bound = jitter_bound }
+let policy_kind_name = Run.Spec.policy_name
+let policy_kind_of_string = Run.Spec.policy_of_string
+let all_policies = Run.Spec.all_policies
+let engine_policy = Run.Spec.engine_policy
 
 type case = {
   c_scenario : string;
@@ -45,77 +31,38 @@ type result = {
   r_events_hash : int64;
 }
 
-let case_name c =
-  Printf.sprintf "%s/%s/%d/%s" c.c_scenario c.c_backend c.c_seed
-    (policy_kind_name c.c_policy)
-
-(* Registry: scenario name -> runner.  Runners return [None] when the
-   scenario does not apply to the given backend. *)
-let soda_only (module W : BW.WORLD) run = if W.name = "soda" then Some (run ()) else None
-
-let scenarios :
-    (string
-    * (seed:int ->
-      policy:Engine.policy ->
-      legacy_trace:bool ->
-      (module BW.WORLD) ->
-      S.outcome option))
-    list =
-  [
-    ( "move",
-      fun ~seed ~policy ~legacy_trace w ->
-        Some (S.simultaneous_move ~seed ~policy ~legacy_trace w) );
-    ( "enclosures",
-      fun ~seed ~policy ~legacy_trace w ->
-        Some (S.enclosure_protocol ~seed ~policy ~legacy_trace ~n_encl:3 w) );
-    ( "cross-request",
-      fun ~seed ~policy ~legacy_trace w ->
-        Some (S.cross_request ~seed ~policy ~legacy_trace w) );
-    ( "open-close",
-      fun ~seed ~policy ~legacy_trace w ->
-        Some (S.open_close_race ~seed ~policy ~legacy_trace w) );
-    ( "lost-enclosure",
-      fun ~seed ~policy ~legacy_trace w ->
-        Some (S.lost_enclosure ~seed ~policy ~legacy_trace w) );
-    ( "bounced-enclosure",
-      fun ~seed ~policy ~legacy_trace w ->
-        Some (S.bounced_enclosure ~seed ~policy ~legacy_trace w) );
-    ( "hint-repair",
-      fun ~seed ~policy ~legacy_trace w ->
-        soda_only w (fun () -> S.soda_hint_repair ~seed ~policy ~legacy_trace ()) );
-    ( "pair-pressure",
-      fun ~seed ~policy ~legacy_trace w ->
-        soda_only w (fun () ->
-            S.soda_pair_pressure ~seed ~policy ~legacy_trace ()) );
-  ]
-
-let scenario_names = List.map fst scenarios
-
-let backend_names =
-  List.map (fun (module W : BW.WORLD) -> W.name) BW.all
-
-let run_outcome ?(legacy_trace = true) case =
-  match List.assoc_opt case.c_scenario scenarios with
-  | None -> invalid_arg (Printf.sprintf "unknown scenario %S" case.c_scenario)
-  | Some runner ->
-    runner ~seed:case.c_seed
-      ~policy:(engine_policy case.c_policy ~seed:case.c_seed)
-      ~legacy_trace
-      (BW.find_exn case.c_backend)
-
-let assess case (o : S.outcome) =
+let spec ?(legacy_trace = false) c =
   {
-    r_case = case;
-    r_ok = o.S.o_ok;
-    r_violations = Invariant.check o;
-    r_races = Analysis.Races.analyze o.S.o_view.Engine.v_events;
-    r_detail = o.S.o_detail;
-    r_duration = o.S.o_duration;
-    r_events_hash = o.S.o_view.Engine.v_events_hash;
+    Run.Spec.scenario = c.c_scenario;
+    backend = c.c_backend;
+    seed = c.c_seed;
+    policy = c.c_policy;
+    plan = None;
+    legacy_trace;
   }
 
-let run_case ?legacy_trace case =
-  Option.map (assess case) (run_outcome ?legacy_trace case)
+let case_name c = Run.Spec.to_string (spec c)
+let scenario_names = S.names
+let backend_names = BW.names
+
+let run_outcome ?(legacy_trace = true) case =
+  Run.run_outcome (spec ~legacy_trace case)
+
+let of_artifact case (a : Run.Artifact.t) =
+  {
+    r_case = case;
+    r_ok = a.Run.Artifact.ok;
+    r_violations = a.Run.Artifact.violations;
+    r_races = a.Run.Artifact.races;
+    r_detail = a.Run.Artifact.detail;
+    r_duration = a.Run.Artifact.duration;
+    r_events_hash = a.Run.Artifact.events_hash;
+  }
+
+let assess case (o : S.outcome) = of_artifact case (Run.judge (spec case) o)
+
+let run_case ?(legacy_trace = true) case =
+  Option.map (of_artifact case) (Run.execute (spec ~legacy_trace case))
 
 let cases ?(scenarios = scenario_names) ?(backends = backend_names)
     ?(seeds = [ 1; 2; 3; 4; 5 ]) ?(policies = [ Fifo; Random ]) () =
@@ -139,8 +86,9 @@ let cases ?(scenarios = scenario_names) ?(backends = backend_names)
    string trace: nothing downstream of a sweep reads it, and the sweep
    is the hot path the emit-side rendering cost was hurting. *)
 let sweep ?(jobs = 1) ?scenarios ?backends ?seeds ?policies () =
-  cases ?scenarios ?backends ?seeds ?policies ()
-  |> Parallel.Pool.map_list ~jobs (run_case ~legacy_trace:false)
+  let cs = cases ?scenarios ?backends ?seeds ?policies () in
+  Run.execute_many ~jobs (List.map spec cs)
+  |> List.map2 (fun c -> Option.map (of_artifact c)) cs
   |> List.filter_map Fun.id
 
 let failed r = (not r.r_ok) || r.r_violations <> [] || r.r_races <> []
@@ -150,23 +98,24 @@ let repro case =
   let buf = Buffer.create 1024 in
   let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   pr "repro %s\n" (case_name case);
-  (match run_outcome case with
+  (match Run.execute_full (spec ~legacy_trace:true case) with
   | None -> pr "  scenario does not apply to this backend\n"
-  | Some o ->
+  | Some (None, a) -> pr "  run aborted: %s\n" a.Run.Artifact.detail
+  | Some (Some o, a) ->
     let v = o.S.o_view in
-    pr "  ok=%b  detail: %s\n" o.S.o_ok o.S.o_detail;
+    pr "  ok=%b  detail: %s\n" a.Run.Artifact.ok a.Run.Artifact.detail;
     pr "  duration %s, clock %s, %d trace events (hash %016Lx)\n"
-      (Time.to_string o.S.o_duration)
+      (Time.to_string a.Run.Artifact.duration)
       (Time.to_string v.Engine.v_now)
       v.Engine.v_trace_count v.Engine.v_trace_hash;
     List.iter
       (fun viol -> pr "  VIOLATION %s\n" (Invariant.to_string viol))
-      (Invariant.check o);
+      a.Run.Artifact.violations;
     List.iter
       (fun (f : Analysis.Races.finding) ->
         pr "  RACE %s %s: %s\n" f.Analysis.Races.r_rule f.Analysis.Races.r_obj
           f.Analysis.Races.r_detail)
-      (Analysis.Races.analyze v.Engine.v_events);
+      a.Run.Artifact.races;
     let unfinished =
       List.filter
         (fun f -> f.Engine.fi_state <> "finished")

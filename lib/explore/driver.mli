@@ -1,12 +1,15 @@
-(** Schedule-exploration driver.
+(** Schedule-exploration driver — a thin plan-builder over the run
+    core.
 
-    Replays every {!Harness.Scenarios} scenario on every backend under
-    many seeds and scheduling policies, checks each run against the
-    {!Invariant}s, and — for any failing case — can re-derive a full
-    repro dump from just the (scenario, backend, seed, policy) tuple,
-    because runs are deterministic. *)
+    Enumerates every {!Harness.Scenarios} scenario on every backend
+    under many seeds and scheduling policies, maps {!Run.execute} over
+    the domain pool, and renders reports.  For any failing case it can
+    re-derive a full repro dump from just the
+    (scenario, backend, seed, policy) tuple, because runs are
+    deterministic — the tuple's canonical form is a {!Run.Spec} string,
+    reparseable with [Run.Spec.of_string] from any log line. *)
 
-type policy_kind =
+type policy_kind = Run.Spec.policy =
   | Fifo  (** deterministic FIFO — the default schedule *)
   | Random  (** seeded random ordering of same-time tasks *)
   | Jitter  (** bounded random per-task delay (default 20us) *)
@@ -49,7 +52,12 @@ val scenario_names : string list
 val backend_names : string list
 
 val case_name : case -> string
-(** ["scenario/backend/seed/policy"] — the repro handle. *)
+(** ["scenario/backend/seed/policy"] — the repro handle, also accepted
+    by [lynx_sim repro] and [Run.Spec.of_string]. *)
+
+val spec : ?legacy_trace:bool -> case -> Run.Spec.t
+(** The case as a universal run spec (no fault plan; [legacy_trace]
+    defaults to false, the batch configuration). *)
 
 val run_outcome : ?legacy_trace:bool -> case -> Harness.Scenarios.outcome option
 (** Runs just the scenario for a case, without judging it — [None] when

@@ -1,107 +1,12 @@
-open Sim
-module S = Harness.Scenarios
+(* Compatibility alias: the invariant checker moved into the run core
+   (lib/run) so every pipeline judges outcomes through one module.
+   Existing explore-facing code keeps working unchanged. *)
 
-type violation = { v_invariant : string; v_detail : string }
+type violation = Run.Invariant.violation = {
+  v_invariant : string;
+  v_detail : string;
+}
 
-let names =
-  [
-    "no-deadlock";
-    "no-leaked-fibers";
-    "time-monotone";
-    "link-conservation";
-    "at-most-once";
-  ]
-
-let to_string v = Printf.sprintf "%s: %s" v.v_invariant v.v_detail
-
-let violation name fmt = Printf.ksprintf (fun d -> { v_invariant = name; v_detail = d }) fmt
-
-let no_deadlock (o : S.outcome) =
-  match o.S.o_view.Engine.v_blocked with
-  | [] -> []
-  | stuck ->
-    [
-      violation "no-deadlock" "blocked non-daemon fibers at quiescence: %s"
-        (String.concat ", " stuck);
-    ]
-
-let no_leaked_fibers (o : S.outcome) =
-  let v = o.S.o_view in
-  let runnable =
-    List.filter
-      (fun f -> f.Engine.fi_state = "runnable")
-      v.Engine.v_fibers
-  in
-  let leak =
-    match runnable with
-    | [] -> []
-    | fs ->
-      [
-        violation "no-leaked-fibers"
-          "fibers left runnable after the queue drained: %s"
-          (String.concat ", " (List.map (fun f -> f.Engine.fi_name) fs));
-      ]
-  in
-  let crashed =
-    match v.Engine.v_crashes with
-    | [] -> []
-    | cs ->
-      [
-        violation "no-leaked-fibers" "crashed fibers: %s"
-          (String.concat ", "
-             (List.map (fun (n, e) -> Printf.sprintf "%s (%s)" n e) cs));
-      ]
-  in
-  leak @ crashed
-
-let time_monotone (o : S.outcome) =
-  let v = o.S.o_view in
-  let rec scan prev = function
-    | [] -> []
-    | (t, msg) :: rest ->
-      if Time.(t < prev) then
-        [
-          violation "time-monotone"
-            "trace went backwards at %s (event %S, previous %s)"
-            (Time.to_string t) msg (Time.to_string prev);
-        ]
-      else scan t rest
-  in
-  let backwards = scan Time.zero v.Engine.v_trace in
-  let beyond_now =
-    match List.rev v.Engine.v_trace with
-    | (t, msg) :: _ when Time.(t > v.Engine.v_now) ->
-      [
-        violation "time-monotone" "trace event %S at %s is after the clock %s"
-          msg (Time.to_string t)
-          (Time.to_string v.Engine.v_now);
-      ]
-    | _ -> []
-  in
-  backwards @ beyond_now
-
-let link_conservation (o : S.outcome) =
-  let adopted = S.counter o "lynx.ends_adopted" in
-  let moved = S.counter o "lynx.ends_moved_out" in
-  if adopted > moved then
-    [
-      violation "link-conservation"
-        "%d link ends adopted but only %d moved out — an end was duplicated"
-        adopted moved;
-    ]
-  else []
-
-let at_most_once (o : S.outcome) =
-  let sent = S.counter o "lynx.messages_sent" in
-  let delivered = S.counter o "lynx.messages_delivered" in
-  if delivered > sent then
-    [
-      violation "at-most-once"
-        "%d messages delivered but only %d sent — a message was duplicated"
-        delivered sent;
-    ]
-  else []
-
-let check (o : S.outcome) =
-  no_deadlock o @ no_leaked_fibers o @ time_monotone o @ link_conservation o
-  @ at_most_once o
+let names = Run.Invariant.names
+let check = Run.Invariant.check
+let to_string = Run.Invariant.to_string

@@ -1,35 +1,14 @@
-(** Semantic invariants every LYNX scenario run must satisfy, on every
-    backend, under every scheduling policy and seed.
+(** Compatibility alias for {!Run.Invariant}, the semantic invariant
+    suite every scenario run must satisfy.  The checker lives in the run
+    core so the explore sweep, the chaos sweep and [lynx_sim repro] all
+    judge outcomes through one module; this alias keeps the historical
+    [Explore.Invariant] path working. *)
 
-    The paper's claim is that one language semantics survives three
-    radically different kernels; these checks are the machine-checkable
-    core of that claim.  They are evaluated against the {!Sim.Engine.view}
-    snapshot and the counter increments a scenario returns — nothing here
-    re-runs the scenario. *)
-
-type violation = {
+type violation = Run.Invariant.violation = {
   v_invariant : string;  (** which invariant, one of {!names} *)
   v_detail : string;  (** what was observed *)
 }
 
 val names : string list
-(** All invariant names, in check order:
-    ["no-deadlock"], ["no-leaked-fibers"], ["time-monotone"],
-    ["link-conservation"], ["at-most-once"]. *)
-
 val check : Harness.Scenarios.outcome -> violation list
-(** Empty when the run is clean.
-
-    - [no-deadlock]: no non-daemon fiber is still blocked once the event
-      queue has drained — the scenario must reach quiescence, not starve.
-    - [no-leaked-fibers]: after quiescence no fiber is left runnable (a
-      continuation was enqueued but never run) and none crashed.
-    - [time-monotone]: trace timestamps never decrease and never exceed
-      the engine clock.
-    - [link-conservation]: link ends are conserved across moves — every
-      adopted end balances a moved-out end
-      ([lynx.ends_adopted <= lynx.ends_moved_out]).
-    - [at-most-once]: no message is delivered more often than it was sent
-      ([lynx.messages_delivered <= lynx.messages_sent]). *)
-
 val to_string : violation -> string

@@ -151,8 +151,18 @@ let soda : backend = (module Soda_world)
 let chrysalis : backend = (module Chrysalis_world)
 let all = [ charlotte; soda; chrysalis ]
 
+(* Every registered implementation, primaries first: the three paper
+   kernels plus the ablation variants.  Sweeps default to [all]; [find]
+   resolves any variant by name, so a spec or CLI flag can target an
+   ablation ("charlotte+acks") without special-casing. *)
+let variants =
+  all @ [ charlotte_acks; charlotte_hints; chrysalis_tuned ]
+
+let name (module W : WORLD) = W.name
+let names = List.map name all
+
 let find name_ =
-  List.find_opt (fun (module W : WORLD) -> String.equal W.name name_) all
+  List.find_opt (fun (module W : WORLD) -> String.equal W.name name_) variants
 
 let find_exn name_ =
   match find name_ with

@@ -56,3 +56,18 @@ val raw_soda :
   ?iters:int -> ?warmup:int -> ?seed:int -> payload:int -> unit -> Sim.Time.t
 (** Raw request/accept round trip on the SODA kernel (the measurements
     behind §4.3 footnote 2). *)
+
+val sweep :
+  ?jobs:int ->
+  ?backends:(module WORLD) list ->
+  ?iters:int ->
+  ?seed:int ->
+  payloads:int list ->
+  unit ->
+  result list list
+(** The latency-vs-payload sweep: one {!run} per (payload, backend)
+    pair, mapped over the {!Parallel.Pool} domain pool, returned as one
+    row per payload with one {!result} per backend (in [backends]
+    order, default {!Backend_world.all}).  Every job owns a private
+    engine and the pool preserves order, so the rows are identical at
+    every [jobs] count. *)

@@ -541,3 +541,95 @@ let soda_pair_pressure ?(seed = 42) ?policy ?legacy_trace ?(budget = true) ?(n_l
     ~detail:
       (Printf.sprintf "budget=%b completed=%d/%d" budget !completed n_links)
     ()
+
+(* ---- the scenario registry ------------------------------------------- *)
+
+(* One entry per runnable scenario: its sweep name, the backends it
+   applies to, and a uniform runner.  Every sweep pipeline (explore,
+   chaos, races, repro) resolves scenarios here instead of keeping its
+   own name-matched list; a new scenario plugs into all of them with one
+   entry. *)
+
+type registered = {
+  sc_name : string;
+  sc_applies_to : backend -> bool;
+  sc_run :
+    seed:int ->
+    policy:Engine.policy ->
+    legacy_trace:bool ->
+    backend ->
+    outcome;
+}
+
+let every_backend (_ : backend) = true
+
+(* SODA-specific scenarios exercise kernel machinery (hints, discover,
+   the pair budget) the other kernels do not have. *)
+let soda_only (module W : WORLD) = String.equal W.name "soda"
+
+let registry =
+  [
+    {
+      sc_name = "move";
+      sc_applies_to = every_backend;
+      sc_run =
+        (fun ~seed ~policy ~legacy_trace w ->
+          simultaneous_move ~seed ~policy ~legacy_trace w);
+    };
+    {
+      sc_name = "enclosures";
+      sc_applies_to = every_backend;
+      sc_run =
+        (fun ~seed ~policy ~legacy_trace w ->
+          enclosure_protocol ~seed ~policy ~legacy_trace ~n_encl:3 w);
+    };
+    {
+      sc_name = "cross-request";
+      sc_applies_to = every_backend;
+      sc_run =
+        (fun ~seed ~policy ~legacy_trace w ->
+          cross_request ~seed ~policy ~legacy_trace w);
+    };
+    {
+      sc_name = "open-close";
+      sc_applies_to = every_backend;
+      sc_run =
+        (fun ~seed ~policy ~legacy_trace w ->
+          open_close_race ~seed ~policy ~legacy_trace w);
+    };
+    {
+      sc_name = "lost-enclosure";
+      sc_applies_to = every_backend;
+      sc_run =
+        (fun ~seed ~policy ~legacy_trace w ->
+          lost_enclosure ~seed ~policy ~legacy_trace w);
+    };
+    {
+      sc_name = "bounced-enclosure";
+      sc_applies_to = every_backend;
+      sc_run =
+        (fun ~seed ~policy ~legacy_trace w ->
+          bounced_enclosure ~seed ~policy ~legacy_trace w);
+    };
+    {
+      sc_name = "hint-repair";
+      sc_applies_to = soda_only;
+      sc_run =
+        (fun ~seed ~policy ~legacy_trace _ ->
+          soda_hint_repair ~seed ~policy ~legacy_trace ());
+    };
+    {
+      sc_name = "pair-pressure";
+      sc_applies_to = soda_only;
+      sc_run =
+        (fun ~seed ~policy ~legacy_trace _ ->
+          soda_pair_pressure ~seed ~policy ~legacy_trace ());
+    };
+  ]
+
+let names = List.map (fun r -> r.sc_name) registry
+let find name_ = List.find_opt (fun r -> String.equal r.sc_name name_) registry
+let applies r b = r.sc_applies_to b
+
+let run r ~seed ~policy ~legacy_trace b =
+  r.sc_run ~seed ~policy ~legacy_trace b

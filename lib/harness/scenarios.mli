@@ -107,3 +107,39 @@ val soda_hint_repair :
 (** SODA-specific (§4.2): a doubly-stale hint (the end moved on and the
     forwarding-cache holder died) repaired by discover and, as the
     broadcast gets lossier, by the freeze/unfreeze absolute search. *)
+
+(** {1 The scenario registry}
+
+    One entry per runnable scenario: its sweep name, an [applies_to]
+    predicate naming the backends it runs on, and a uniform runner.
+    Every sweep pipeline — explore, chaos, the races replay, repro —
+    resolves scenarios here instead of keeping its own name-matched
+    list, so a new scenario plugs into all of them with one entry. *)
+
+type registered = {
+  sc_name : string;
+  sc_applies_to : backend -> bool;
+      (** which backends the scenario runs on; SODA-specific scenarios
+          (["hint-repair"], ["pair-pressure"]) apply only to SODA *)
+  sc_run :
+    seed:int ->
+    policy:Sim.Engine.policy ->
+    legacy_trace:bool ->
+    backend ->
+    outcome;
+}
+
+val registry : registered list
+(** All scenarios, in sweep order. *)
+
+val names : string list
+val find : string -> registered option
+val applies : registered -> backend -> bool
+
+val run :
+  registered ->
+  seed:int ->
+  policy:Sim.Engine.policy ->
+  legacy_trace:bool ->
+  backend ->
+  outcome

@@ -1,0 +1,103 @@
+type t = {
+  spec : Spec.t;
+  ok : bool;
+  violations : Invariant.violation list;
+  races : Analysis.Races.finding list;
+  detail : string;
+  duration : Sim.Time.t;
+  counters : (string * int) list;
+  events_hash : int64;
+}
+
+let anomalous a = a.violations <> []
+let strict_failed a = (not a.ok) || a.violations <> [] || a.races <> []
+
+(* ---- JSON rendering ------------------------------------------------- *)
+
+(* The writer stays within the subset bench/compare.exe parses: objects,
+   strings and numbers only.  No arrays, no booleans, no null. *)
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let indexed_obj buf ~indent render = function
+  | [] -> Buffer.add_string buf "{}"
+  | items ->
+    Buffer.add_string buf "{\n";
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_string buf ",\n";
+        Buffer.add_string buf
+          (Printf.sprintf "%s  \"%d\": \"%s\"" indent i (escape (render item))))
+      items;
+    Buffer.add_string buf (Printf.sprintf "\n%s}" indent)
+
+let add_body buf ~indent a =
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let field ?(last = false) k render =
+    pr "%s\"%s\": " indent k;
+    render ();
+    if not last then Buffer.add_string buf ",";
+    Buffer.add_string buf "\n"
+  in
+  field "spec" (fun () -> pr "\"%s\"" (escape (Spec.to_string a.spec)));
+  field "ok" (fun () -> pr "%d" (if a.ok then 1 else 0));
+  field "detail" (fun () -> pr "\"%s\"" (escape a.detail));
+  field "duration_ms" (fun () -> pr "%.6f" (Sim.Time.to_ms a.duration));
+  field "events_hash" (fun () -> pr "\"%016Lx\"" a.events_hash);
+  field "violations" (fun () ->
+      indexed_obj buf ~indent Invariant.to_string a.violations);
+  field "races" (fun () ->
+      indexed_obj buf ~indent
+        (Format.asprintf "%a" Analysis.Races.pp_finding)
+        a.races);
+  field ~last:true "counters" (fun () ->
+      match a.counters with
+      | [] -> pr "{}"
+      | counters ->
+        pr "{\n";
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then pr ",\n";
+            pr "%s  \"%s\": %d" indent (escape k) v)
+          counters;
+        pr "\n%s}" indent)
+
+let to_json a =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"schema\": \"lynx-run/1\",\n";
+  add_body buf ~indent:"  " a;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let list_to_json artifacts =
+  let buf = Buffer.create 4096 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr "{\n  \"schema\": \"lynx-run/1\",\n";
+  pr "  \"runs\": %d,\n" (List.length artifacts);
+  pr "  \"artifacts\": ";
+  (match artifacts with
+  | [] -> pr "{}"
+  | artifacts ->
+    pr "{\n";
+    List.iteri
+      (fun i a ->
+        if i > 0 then pr ",\n";
+        pr "    \"%s\": {\n" (escape (Spec.to_string a.spec));
+        add_body buf ~indent:"      " a;
+        pr "    }")
+      artifacts;
+    pr "\n  }");
+  pr "\n}\n";
+  Buffer.contents buf

@@ -1,0 +1,42 @@
+(** What one executed {!Spec.t} produced: the scenario's own verdict,
+    the invariant violations, the happens-before race findings, the
+    counter increments, the virtual duration and the event-stream
+    fingerprint.  Every sweep row, repro dump and [--json] record in the
+    repo is a rendering of this one record. *)
+
+type t = {
+  spec : Spec.t;
+  ok : bool;  (** the scenario's own verdict — informational under faults *)
+  violations : Invariant.violation list;
+      (** invariant suite verdicts, plus the chaos layer's
+          ["clean-failure"] check when threads died with non-LYNX
+          exceptions *)
+  races : Analysis.Races.finding list;
+      (** happens-before findings over the run's event stream *)
+  detail : string;  (** human-readable summary of what happened *)
+  duration : Sim.Time.t;  (** virtual time from kickoff to quiescence *)
+  counters : (string * int) list;
+      (** {!Sim.Stats} counter increments during the run *)
+  events_hash : int64;
+      (** FNV fingerprint of the run's full event stream — the cheap
+          determinism comparator *)
+}
+
+val anomalous : t -> bool
+(** An invariant was violated — the failure criterion for faulted runs,
+    where missing the scripted finale ([ok = false]) is informational. *)
+
+val strict_failed : t -> bool
+(** Violated an invariant, raced, or missed the scenario's expected
+    final state — the failure criterion for clean exploration runs. *)
+
+val to_json : t -> string
+(** One artifact as JSON.  Stays within the objects/strings/numbers
+    subset [bench/compare.exe] parses, so CI can assert the output is
+    well-formed with the same parser that gates the bench baseline:
+    lists (violations, races) are index-keyed objects, booleans are 0/1
+    numbers, and the events hash is a 16-digit hex string. *)
+
+val list_to_json : t list -> string
+(** A sweep's artifacts as one JSON object, keyed by each spec's
+    canonical string (unique within any sweep product). *)

@@ -1,0 +1,97 @@
+module S = Harness.Scenarios
+module BW = Harness.Backend_world
+
+let resolve (spec : Spec.t) =
+  let sc =
+    match S.find spec.Spec.scenario with
+    | Some sc -> sc
+    | None ->
+      invalid_arg (Printf.sprintf "unknown scenario %S" spec.Spec.scenario)
+  in
+  let backend =
+    match BW.find spec.Spec.backend with
+    | Some b -> b
+    | None -> invalid_arg (Printf.sprintf "unknown backend %S" spec.Spec.backend)
+  in
+  (sc, backend)
+
+let run_outcome (spec : Spec.t) =
+  let sc, backend = resolve spec in
+  if not (S.applies sc backend) then None
+  else
+    let run () =
+      Some
+        (S.run sc ~seed:spec.Spec.seed
+           ~policy:(Spec.engine_policy spec.Spec.policy ~seed:spec.Spec.seed)
+           ~legacy_trace:spec.Spec.legacy_trace backend)
+    in
+    match spec.Spec.plan with
+    | None -> run ()
+    | Some plan -> Faults.with_plan (Spec.fault_plan plan) run
+
+(* The invariant suite judges a faulted run exactly as it judges a clean
+   one — that is the point: faults may slow scenarios down or make them
+   miss their scripted finale ([ok] false), but they must never deadlock
+   the run, leak fibers, crash threads with non-LYNX errors, break
+   link-end conservation, or deliver a message that was never sent. *)
+let judge (spec : Spec.t) (o : S.outcome) =
+  let dirty =
+    try List.assoc "lynx.thread_exceptions_dirty" o.S.o_counters
+    with Not_found -> 0
+  in
+  let extra =
+    if dirty > 0 then
+      [
+        {
+          Invariant.v_invariant = "clean-failure";
+          v_detail =
+            Printf.sprintf
+              "%d thread(s) died with non-LYNX exceptions under faults" dirty;
+        };
+      ]
+    else []
+  in
+  {
+    Artifact.spec;
+    ok = o.S.o_ok;
+    violations = Invariant.check o @ extra;
+    races = Analysis.Races.analyze o.S.o_view.Sim.Engine.v_events;
+    detail = o.S.o_detail;
+    duration = o.S.o_duration;
+    counters = o.S.o_counters;
+    events_hash = o.S.o_view.Sim.Engine.v_events_hash;
+  }
+
+(* A wedged or crashed faulted run is itself the finding. *)
+let aborted (spec : Spec.t) exn =
+  {
+    Artifact.spec;
+    ok = false;
+    violations =
+      [
+        {
+          Invariant.v_invariant = "no-deadlock";
+          v_detail = "run aborted: " ^ Printexc.to_string exn;
+        };
+      ];
+    races = [];
+    detail = Printexc.to_string exn;
+    duration = Sim.Time.zero;
+    counters = [];
+    events_hash = 0L;
+  }
+
+let execute_full (spec : Spec.t) =
+  match run_outcome spec with
+  | None -> None
+  | Some o -> Some (Some o, judge spec o)
+  | exception e when spec.Spec.plan <> None -> Some (None, aborted spec e)
+
+let execute (spec : Spec.t) =
+  match run_outcome spec with
+  | None -> None
+  | Some o -> Some (judge spec o)
+  | exception e when spec.Spec.plan <> None -> Some (aborted spec e)
+
+let execute_many ?(jobs = 1) specs =
+  Parallel.Pool.map_list ~jobs execute specs

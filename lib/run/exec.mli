@@ -1,0 +1,38 @@
+(** The one run pipeline behind every sweep.
+
+    [execute] resolves a {!Spec.t} against the {!Harness.Scenarios}
+    registry and the {!Harness.Backend_world} registry, arms the fault
+    plan (if any) ambiently, runs the scenario on a private engine, and
+    judges the outcome into an {!Artifact.t}: invariant suite, race
+    detector, counter snapshot, fingerprint.  [Explore.Driver],
+    [Explore.Chaos], the [races] command and [lynx_sim repro] are all
+    thin plan-builders over this function. *)
+
+val run_outcome : Spec.t -> Harness.Scenarios.outcome option
+(** Runs just the scenario, without judging it — [None] when the
+    scenario does not apply to the backend (per its [applies_to]
+    predicate).  Raises [Invalid_argument] on unknown scenario or
+    backend names. *)
+
+val judge : Spec.t -> Harness.Scenarios.outcome -> Artifact.t
+(** Judge an already-obtained outcome as if [execute] had produced it:
+    the invariant suite, the clean-failure check (threads must not die
+    with non-LYNX exceptions), and the happens-before race detector. *)
+
+val execute_full : Spec.t -> (Harness.Scenarios.outcome option * Artifact.t) option
+(** [execute], also returning the raw outcome — repro dumps read the
+    engine view (trace tail, fiber states) from it.  The outcome is
+    [None] only when a faulted run aborted (no engine view exists). *)
+
+val execute : Spec.t -> Artifact.t option
+(** The pipeline: run, judge, package.  [None] when the scenario does
+    not apply to the backend.  Under a fault plan, a run that deadlocks
+    or crashes the engine is reported as a ["no-deadlock"] violation
+    artifact, not an exception — the wedged run is itself the finding.
+    Clean runs let exceptions propagate. *)
+
+val execute_many : ?jobs:int -> Spec.t list -> Artifact.t option list
+(** [execute] mapped over the {!Parallel.Pool} domain pool.  Every spec
+    owns a private engine and the pool preserves input order, so the
+    result list — and anything rendered from it — is byte-identical at
+    every [jobs] count (default 1). *)

@@ -1,0 +1,13 @@
+(** The run core: one spec, one pipeline, one artifact.
+
+    {!Run.Spec} names a run ("scenario/backend/seed/policy[@plan]" —
+    the universal repro handle), {!Run.execute} performs it (resolve
+    against the scenario and backend registries, arm the fault plan,
+    run, judge), and {!Run.Artifact} is what it produced.  The explore
+    sweep, the chaos sweep, the race-detector replay and [lynx_sim
+    repro] are all thin plan-builders over {!Run.execute_many}. *)
+
+module Spec = Spec
+module Artifact = Artifact
+module Invariant = Invariant
+include Exec

@@ -1,0 +1,128 @@
+open Sim
+
+type policy = Fifo | Random | Jitter
+
+let all_policies = [ Fifo; Random; Jitter ]
+
+let policy_name = function
+  | Fifo -> "fifo"
+  | Random -> "random"
+  | Jitter -> "jitter"
+
+let policy_of_string = function
+  | "fifo" -> Some Fifo
+  | "random" -> Some Random
+  | "jitter" -> Some Jitter
+  | _ -> None
+
+(* The jitter bound must stay well under the millisecond-scale timing
+   margins the scenarios are written with: it perturbs which of two
+   nearby events wins a race without rewriting the script. *)
+let jitter_bound = Time.us 20
+
+let engine_policy kind ~seed =
+  match kind with
+  | Fifo -> Engine.Fifo
+  | Random -> Engine.Random_order seed
+  | Jitter -> Engine.Delay_jitter { jitter_seed = seed; bound = jitter_bound }
+
+type plan = Screen | Drop | Duplicate | Delay | Crash_restart | Partition | Mix
+
+let all_plans = [ Drop; Duplicate; Delay; Crash_restart; Partition; Mix ]
+
+let plan_name = function
+  | Screen -> "screen"
+  | Drop -> "drop"
+  | Duplicate -> "duplicate"
+  | Delay -> "delay"
+  | Crash_restart -> "crash-restart"
+  | Partition -> "partition"
+  | Mix -> "mix"
+
+let plan_of_string = function
+  | "screen" -> Some Screen
+  | "drop" -> Some Drop
+  | "duplicate" -> Some Duplicate
+  | "delay" -> Some Delay
+  | "crash-restart" -> Some Crash_restart
+  | "partition" -> Some Partition
+  | "mix" -> Some Mix
+  | _ -> None
+
+let fault_plan = function
+  | Screen -> Faults.Plan.none
+  | Drop -> Faults.Plan.drops
+  | Duplicate -> Faults.Plan.dups
+  | Delay -> Faults.Plan.delays
+  | Crash_restart -> Faults.Plan.crash_restart
+  | Partition -> Faults.Plan.partition
+  | Mix -> Faults.Plan.mix
+
+type t = {
+  scenario : string;
+  backend : string;
+  seed : int;
+  policy : policy;
+  plan : plan option;
+  legacy_trace : bool;
+}
+
+let v ?(policy = Fifo) ?plan ?(legacy_trace = false) ~scenario ~backend seed =
+  { scenario; backend; seed; policy; plan; legacy_trace }
+
+let trace_suffix = "~trace"
+
+let to_string s =
+  Printf.sprintf "%s/%s/%d/%s%s%s" s.scenario s.backend s.seed
+    (policy_name s.policy)
+    (match s.plan with None -> "" | Some p -> "@" ^ plan_name p)
+    (if s.legacy_trace then trace_suffix else "")
+
+let of_string str =
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  match String.split_on_char '/' str with
+  | [ scenario; backend; seed_str; tail ] -> begin
+    match (scenario, backend, int_of_string_opt seed_str) with
+    | "", _, _ -> err "empty scenario in %S" str
+    | _, "", _ -> err "empty backend in %S" str
+    | _, _, None -> err "bad seed %S in %S" seed_str str
+    | _, _, Some seed ->
+      let tail, legacy_trace =
+        if String.ends_with ~suffix:trace_suffix tail then
+          ( String.sub tail 0 (String.length tail - String.length trace_suffix),
+            true )
+        else (tail, false)
+      in
+      let finish policy plan =
+        Ok { scenario; backend; seed; policy; plan; legacy_trace }
+      in
+      begin
+        match String.index_opt tail '@' with
+        | Some i -> begin
+          let pol = String.sub tail 0 i in
+          let pl = String.sub tail (i + 1) (String.length tail - i - 1) in
+          match (policy_of_string pol, plan_of_string pl) with
+          | Some policy, Some plan -> finish policy (Some plan)
+          | None, _ -> err "unknown policy %S in %S" pol str
+          | _, None -> err "unknown fault plan %S in %S" pl str
+        end
+        | None -> begin
+          match policy_of_string tail with
+          | Some policy -> finish policy None
+          | None -> begin
+            (* Chaos case names put the plan in the policy position
+               ("move/soda/1/drop"); read them as fifo@plan. *)
+            match plan_of_string tail with
+            | Some plan -> finish Fifo (Some plan)
+            | None -> err "unknown policy or plan %S in %S" tail str
+          end
+        end
+      end
+  end
+  | _ -> err "spec %S is not scenario/backend/seed/policy[@plan]" str
+
+let of_string_exn str =
+  match of_string str with Ok s -> s | Error m -> invalid_arg m
+
+let equal (a : t) (b : t) = a = b
+let pp ppf s = Format.pp_print_string ppf (to_string s)

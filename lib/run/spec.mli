@@ -1,0 +1,84 @@
+(** The universal run specification.
+
+    Every pipeline in the repo — the explore sweep, the chaos sweep,
+    the race-detector replay, the repro command — runs the same thing:
+    one {!Harness.Scenarios} scenario on one {!Harness.Backend_world}
+    backend under one seed, one scheduling policy and (optionally) one
+    ambient fault plan.  A [Spec.t] names that run completely, and its
+    canonical string form
+
+    {v scenario/backend/seed/policy[@plan][~trace] v}
+
+    is the repro handle: any spec printed in a CLI table, CI log or
+    test failure can be parsed back with {!of_string} and re-executed
+    with {!Exec.execute} to reproduce the identical run — same
+    verdict, same violations, same event-stream fingerprint.
+
+    For compatibility with the chaos sweep's historical case names
+    ("scenario/backend/seed/plan", no policy segment), {!of_string}
+    also accepts a fault-plan name in the policy position and reads it
+    as [fifo@plan]. *)
+
+type policy = Fifo | Random | Jitter
+(** Scheduling policy kind.  The concrete engine policy derives its
+    scheduling seed from the case seed ({!engine_policy}), so one
+    integer reproduces the whole run. *)
+
+val all_policies : policy list
+val policy_name : policy -> string
+val policy_of_string : string -> policy option
+
+val engine_policy : policy -> seed:int -> Sim.Engine.policy
+(** [Jitter] uses a 20us bound — well under the millisecond-scale
+    timing margins the scenarios are written with. *)
+
+type plan =
+  | Screen  (** no faults, LYNX screening armed — the overhead baseline *)
+  | Drop
+  | Duplicate
+  | Delay
+  | Crash_restart
+  | Partition
+  | Mix
+
+val all_plans : plan list
+(** The fault-injecting plans, in sweep order ([Screen] excluded: it
+    injects nothing and is opt-in by name). *)
+
+val plan_name : plan -> string
+val plan_of_string : string -> plan option
+val fault_plan : plan -> Faults.Plan.t
+
+type t = {
+  scenario : string;
+  backend : string;
+  seed : int;
+  policy : policy;
+  plan : plan option;  (** [None]: clean run, no ambient plan *)
+  legacy_trace : bool;
+      (** render the legacy string trace during the run (repro dumps
+          want it; batch sweeps skip it on the emit hot path).  Does
+          not affect verdicts or fingerprints. *)
+}
+
+val v :
+  ?policy:policy ->
+  ?plan:plan ->
+  ?legacy_trace:bool ->
+  scenario:string ->
+  backend:string ->
+  int ->
+  t
+(** [v ~scenario ~backend seed] with [Fifo], no plan, no legacy trace. *)
+
+val to_string : t -> string
+(** The canonical ["scenario/backend/seed/policy[@plan][~trace]"]. *)
+
+val of_string : string -> (t, string) result
+(** Inverse of {!to_string}: [of_string (to_string s) = Ok s] for every
+    spec (QCheck-tested).  Scenario and backend names are checked only
+    syntactically here; {!Exec.execute} rejects unknown ones. *)
+
+val of_string_exn : string -> t
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

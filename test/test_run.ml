@@ -1,0 +1,298 @@
+(* Tier-1 suite for the run core (lib/run).
+
+   The spec string "scenario/backend/seed/policy[@plan]" is the
+   universal repro handle — every sweep table, failing test and CI log
+   line prints one, and `lynx_sim repro` must parse it back.  So the
+   round-trip law is property-tested here, the historical chaos handle
+   (plan in the policy position) is pinned, and the explore/chaos
+   renderings are compared byte-for-byte against outputs captured
+   before the pipelines were rebased onto [Run.execute]. *)
+
+module R = Run
+module Spec = Run.Spec
+module A = Run.Artifact
+module D = Explore.Driver
+module C = Explore.Chaos
+module S = Harness.Scenarios
+module BW = Harness.Backend_world
+
+(* ---- spec round-trip ------------------------------------------------- *)
+
+let spec_of_tuple (scenario, backend, seed, policy, plan, legacy_trace) =
+  { Spec.scenario; backend; seed; policy; plan; legacy_trace }
+
+let spec_arb =
+  let open QCheck in
+  let name_gen =
+    Gen.oneof
+      [
+        Gen.oneofl S.names;
+        Gen.oneofl [ "x"; "my-scenario"; "a_b.c"; "weird backend" ];
+      ]
+  in
+  make
+    ~print:(fun t -> Spec.to_string (spec_of_tuple t))
+    Gen.(
+      map
+        (fun (scenario, backend, seed, policy, plan, legacy_trace) ->
+          (scenario, backend, seed, policy, plan, legacy_trace))
+        (tup6 name_gen
+           (oneof [ oneofl BW.names; name_gen ])
+           small_signed_int
+           (oneofl Spec.all_policies)
+           (oneofl (None :: List.map Option.some (Spec.Screen :: Spec.all_plans)))
+           bool))
+
+let test_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:500 ~name:"of_string (to_string s) = s" spec_arb
+       (fun t ->
+         let s = spec_of_tuple t in
+         match Spec.of_string (Spec.to_string s) with
+         | Ok s' -> Spec.equal s s'
+         | Error m -> QCheck.Test.fail_reportf "no parse: %s" m))
+
+let check_spec = Alcotest.testable Spec.pp Spec.equal
+
+let test_parse_forms () =
+  Alcotest.(check check_spec)
+    "plain"
+    (Spec.v ~scenario:"move" ~backend:"chrysalis" 3)
+    (Spec.of_string_exn "move/chrysalis/3/fifo");
+  Alcotest.(check check_spec)
+    "policy and plan"
+    (Spec.v ~policy:Spec.Random ~plan:Spec.Drop ~scenario:"cross-request"
+       ~backend:"soda" 2)
+    (Spec.of_string_exn "cross-request/soda/2/random@drop");
+  (* The chaos tables' historical handle puts the plan in the policy
+     position; it must keep working as a repro string. *)
+  Alcotest.(check check_spec)
+    "legacy chaos handle"
+    (Spec.v ~plan:Spec.Crash_restart ~scenario:"move" ~backend:"charlotte" 1)
+    (Spec.of_string_exn "move/charlotte/1/crash-restart");
+  Alcotest.(check string)
+    "legacy handle canonicalises" "move/charlotte/1/fifo@crash-restart"
+    (Spec.to_string (Spec.of_string_exn "move/charlotte/1/crash-restart"));
+  Alcotest.(check check_spec)
+    "trace suffix"
+    (Spec.v ~legacy_trace:true ~scenario:"move" ~backend:"soda" 7)
+    (Spec.of_string_exn "move/soda/7/fifo~trace");
+  Alcotest.(check check_spec)
+    "screening plan"
+    (Spec.v ~plan:Spec.Screen ~scenario:"open-close" ~backend:"chrysalis" 1)
+    (Spec.of_string_exn "open-close/chrysalis/1/fifo@screen")
+
+let test_parse_errors () =
+  let rejects s =
+    match Spec.of_string s with
+    | Ok _ -> Alcotest.failf "%S should not parse" s
+    | Error m -> Alcotest.(check bool) "message nonempty" true (m <> "")
+  in
+  List.iter rejects
+    [
+      "garbage";
+      "move/soda/notaseed/fifo";
+      "/soda/1/fifo";
+      "move//1/fifo";
+      "move/soda/1/warp";
+      "move/soda/1/fifo@meteor";
+      "move/soda/1/fifo/extra";
+    ]
+
+(* ---- the registry ----------------------------------------------------- *)
+
+let test_registry () =
+  Alcotest.(check (list string))
+    "scenario registry order"
+    [
+      "move";
+      "enclosures";
+      "cross-request";
+      "open-close";
+      "lost-enclosure";
+      "bounced-enclosure";
+      "hint-repair";
+      "pair-pressure";
+    ]
+    S.names;
+  let applies sc b =
+    match (S.find sc, BW.find b) with
+    | Some sc, Some b -> S.applies sc b
+    | _ -> Alcotest.failf "lookup failed for %s/%s" sc b
+  in
+  Alcotest.(check bool) "move applies everywhere" true (applies "move" "charlotte");
+  Alcotest.(check bool) "hint-repair is SODA-only" false
+    (applies "hint-repair" "charlotte");
+  Alcotest.(check bool) "hint-repair on soda" true (applies "hint-repair" "soda");
+  Alcotest.(check bool) "pair-pressure is SODA-only" false
+    (applies "pair-pressure" "chrysalis");
+  (* Variant backends resolve by name too, so repro handles from
+     ablation runs work. *)
+  (match BW.find "charlotte+acks" with
+  | Some (module W : BW.WORLD) ->
+    Alcotest.(check string) "variant lookup" "charlotte+acks" W.name
+  | None -> Alcotest.fail "charlotte+acks not found");
+  Alcotest.(check bool) "unknown backend" true (BW.find "hydra" = None);
+  Alcotest.(check bool)
+    "inapplicable spec refuses to run" true
+    (R.execute (Spec.v ~scenario:"hint-repair" ~backend:"charlotte" 1) = None)
+
+(* ---- execution: equivalence, determinism, judging --------------------- *)
+
+let test_execute_matches_driver () =
+  let case =
+    { D.c_scenario = "move"; c_backend = "chrysalis"; c_seed = 3;
+      c_policy = D.Fifo }
+  in
+  match (R.execute (D.spec case), D.run_case ~legacy_trace:false case) with
+  | Some a, Some r ->
+    Alcotest.(check bool) "ok" r.D.r_ok a.A.ok;
+    Alcotest.(check string) "detail" r.D.r_detail a.A.detail;
+    Alcotest.(check int64) "events hash" r.D.r_events_hash a.A.events_hash;
+    Alcotest.(check int)
+      "violations" (List.length r.D.r_violations)
+      (List.length a.A.violations)
+  | _ -> Alcotest.fail "both paths should produce a result"
+
+let test_faulted_execute_deterministic () =
+  let spec =
+    Spec.v ~plan:Spec.Mix ~scenario:"cross-request" ~backend:"soda" 2
+  in
+  match (R.execute spec, R.execute spec) with
+  | Some a, Some b ->
+    Alcotest.(check int64) "events hash stable" a.A.events_hash b.A.events_hash;
+    Alcotest.(check string) "detail stable" a.A.detail b.A.detail;
+    Alcotest.(check (list string))
+      "violations stable"
+      (List.map R.Invariant.to_string a.A.violations)
+      (List.map R.Invariant.to_string b.A.violations);
+    Alcotest.(check bool)
+      "fault counters present" true
+      (List.exists
+         (fun (k, _) -> String.starts_with ~prefix:"faults." k)
+         a.A.counters)
+  | _ -> Alcotest.fail "faulted run should produce an artifact"
+
+let test_execute_many_order () =
+  let specs =
+    List.concat_map
+      (fun sc ->
+        List.map
+          (fun b -> Spec.v ~scenario:sc ~backend:b 1)
+          BW.(List.map (fun (module W : WORLD) -> W.name) all))
+      [ "move"; "open-close"; "hint-repair" ]
+  in
+  let seq = R.execute_many ~jobs:1 specs in
+  let par = R.execute_many ~jobs:4 specs in
+  Alcotest.(check int) "length" (List.length seq) (List.length par);
+  List.iter2
+    (fun a b ->
+      match (a, b) with
+      | None, None -> ()
+      | Some a, Some b ->
+        Alcotest.(check int64) "hash" a.A.events_hash b.A.events_hash;
+        Alcotest.(check string)
+          "spec" (Spec.to_string a.A.spec)
+          (Spec.to_string b.A.spec)
+      | _ -> Alcotest.fail "applicability must not depend on jobs")
+    seq par
+
+let test_json_shape () =
+  let spec = Spec.v ~scenario:"move" ~backend:"chrysalis" 3 in
+  match R.execute spec with
+  | None -> Alcotest.fail "move/chrysalis should run"
+  | Some a ->
+    let j = A.to_json a in
+    let has needle =
+      Alcotest.(check bool)
+        (Printf.sprintf "json has %s" needle)
+        true
+        (let nl = String.length needle and jl = String.length j in
+         let rec go i = i + nl <= jl && (String.sub j i nl = needle || go (i + 1)) in
+         go 0)
+    in
+    has "\"schema\": \"lynx-run/1\"";
+    has "\"spec\": \"move/chrysalis/3/fifo\"";
+    has "\"events_hash\"";
+    has "\"counters\""
+
+(* ---- golden compatibility -------------------------------------------- *)
+
+(* These strings were captured from the pre-refactor pipelines (before
+   explore/chaos were rebased onto [Run.execute]).  The rendering must
+   stay byte-identical: the tables are the determinism witness and the
+   case names are repro handles people have in old logs. *)
+
+let golden_explore_summary =
+  "scenario             policy     runs   fail\n\
+   bounced-enclosure    fifo          6      0\n\
+   bounced-enclosure    random        6      0\n\
+   cross-request        fifo          6      0\n\
+   cross-request        random        6      0\n\
+   enclosures           fifo          6      0\n\
+   enclosures           random        6      0\n\
+   hint-repair          fifo          2      0\n\
+   hint-repair          random        2      0\n\
+   lost-enclosure       fifo          6      0\n\
+   lost-enclosure       random        6      0\n\
+   move                 fifo          6      0\n\
+   move                 random        6      0\n\
+   open-close           fifo          6      0\n\
+   open-close           random        6      0\n\
+   pair-pressure        fifo          2      0\n\
+   pair-pressure        random        2      0\n"
+
+let golden_chaos_table =
+  "case                                     ok     events             verdict\n\
+   move/charlotte/2/duplicate               false  f1d4b8ba3f2bfa77  pass\n\
+   move/charlotte/2/mix                     false  eee2cc5d5b149f63  pass\n\
+   move/soda/2/duplicate                    true   d666c291fdc324a4  pass\n\
+   move/soda/2/mix                          true   067d43d0064d3eb8  pass\n\
+   move/chrysalis/2/duplicate               true   038e238703c788e9  pass\n\
+   move/chrysalis/2/mix                     false  105144786418775b  pass\n\
+   cross-request/charlotte/2/duplicate      false  244affd792588f47  pass\n\
+   cross-request/charlotte/2/mix            false  e940166e69cb063b  pass\n\
+   cross-request/soda/2/duplicate           false  00fc94f651766272  pass\n\
+   cross-request/soda/2/mix                 false  e88d94721b9d24c7  pass\n\
+   cross-request/chrysalis/2/duplicate      false  dcfe1c5c4b30a0c8  pass\n\
+   cross-request/chrysalis/2/mix            false  e64d19f8aac0a403  pass\n"
+
+let test_golden_explore () =
+  let results = D.sweep ~jobs:2 ~seeds:[ 1; 2 ] () in
+  Alcotest.(check string)
+    "explore summary unchanged" golden_explore_summary (D.summary results)
+
+let test_golden_chaos () =
+  let results =
+    C.sweep ~jobs:2
+      ~scenarios:[ "move"; "cross-request" ]
+      ~seeds:[ 2 ]
+      ~plans:[ C.Duplicate; C.Mix ] ()
+  in
+  Alcotest.(check string) "chaos table unchanged" golden_chaos_table
+    (C.table results)
+
+let () =
+  Alcotest.run "run"
+    [
+      ( "spec",
+        [
+          test_roundtrip;
+          Alcotest.test_case "parse forms" `Quick test_parse_forms;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+        ] );
+      ("registry", [ Alcotest.test_case "registry" `Quick test_registry ]);
+      ( "execute",
+        [
+          Alcotest.test_case "matches driver" `Quick test_execute_matches_driver;
+          Alcotest.test_case "faulted determinism" `Quick
+            test_faulted_execute_deterministic;
+          Alcotest.test_case "pool order" `Quick test_execute_many_order;
+          Alcotest.test_case "json shape" `Quick test_json_shape;
+        ] );
+      ( "golden",
+        [
+          Alcotest.test_case "explore summary" `Slow test_golden_explore;
+          Alcotest.test_case "chaos table" `Slow test_golden_chaos;
+        ] );
+    ]
