@@ -10,6 +10,7 @@
      lint      static protocol linter
      races     happens-before race detector replay
      repro     re-run any spec string and dump its full artifact
+     memsmoke  bounded-retention equivalence smoke (ring buffer vs full log)
      backends  list available backends
 
    Every sweep row is identified by a run spec
@@ -483,23 +484,11 @@ let races_cmd =
       then exit 1
     end
     else begin
-      let total = ref 0 in
-      List.iter2
-        (fun sc a ->
-          match a with
-          | None -> Printf.printf "%-20s n/a on %s\n" sc W.name
-          | Some a ->
-            let races = a.Run.Artifact.races in
-            total := !total + List.length races;
-            if races = [] then Printf.printf "%-20s clean\n" sc
-            else begin
-              Printf.printf "%-20s %d race(s)\n" sc (List.length races);
-              List.iter
-                (fun f -> Format.printf "  %a@." Analysis.Races.pp_finding f)
-                races
-            end)
-        names artifacts;
-      if !total > 0 then exit 1
+      let report, total =
+        Explore.Driver.races_report ~backend:W.name ~scenarios:names artifacts
+      in
+      print_string report;
+      if total > 0 then exit 1
     end
   in
   Cmd.v
@@ -524,7 +513,19 @@ let repro_cmd =
     in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"SPEC" ~doc)
   in
-  let run spec_str json =
+  let log_capacity_arg =
+    let doc =
+      "Retain only the last $(docv) structured events in a ring buffer \
+       while re-running.  The judged artifact — verdict, violations, \
+       races, events hash — is identical at any capacity; only the \
+       retained log is bounded."
+    in
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "log-capacity" ] ~docv:"N" ~doc)
+  in
+  let run spec_str json log_capacity =
     let spec =
       match Run.Spec.of_string spec_str with
       | Ok s -> s
@@ -537,7 +538,7 @@ let repro_cmd =
     let exec_spec =
       if json then spec else { spec with Run.Spec.legacy_trace = true }
     in
-    match Run.execute_full exec_spec with
+    match Run.execute_full ?log_capacity exec_spec with
     | None ->
       Printf.eprintf "scenario %s does not apply to backend %s\n"
         spec.Run.Spec.scenario spec.Run.Spec.backend;
@@ -610,7 +611,148 @@ let repro_cmd =
          "Re-run any spec string from a sweep table, test failure or CI \
           log, and dump its full judged artifact: verdict, invariant \
           violations, races, counters, events hash and trace tail.")
-    Term.(const run $ spec_arg $ json_arg)
+    Term.(const run $ spec_arg $ json_arg $ log_capacity_arg)
+
+(* ---- memsmoke: bounded-retention equivalence smoke ------------------------ *)
+
+let memsmoke_cmd =
+  let capacity_arg =
+    let doc = "Ring-buffer capacity for the bounded runs." in
+    Arg.(value & opt int 64 & info [ "capacity" ] ~docv:"N" ~doc)
+  in
+  let iters_arg =
+    let doc =
+      "Measured RPC iterations for the long run (default 300, 10x the \
+       rpc command's default)."
+    in
+    Arg.(value & opt int 300 & info [ "n"; "iters" ] ~docv:"N" ~doc)
+  in
+  let spec_arg =
+    let doc = "Run spec for the scenario-pipeline half of the smoke." in
+    Arg.(
+      value
+      & opt string "move/charlotte/1/fifo"
+      & info [ "spec" ] ~docv:"SPEC" ~doc)
+  in
+  let run (module W : BW.WORLD) capacity iters spec_str seed =
+    let failures = ref 0 in
+    let check name cond detail =
+      if cond then Printf.printf "  ok   %s\n" name
+      else begin
+        incr failures;
+        Printf.printf "  FAIL %s: %s\n" name detail
+      end
+    in
+    (* Half 1: the full run pipeline, unbounded vs ring-bounded.  The
+       judged artifact must be identical and the bounded view must
+       retain at most [capacity] events with exact drop accounting. *)
+    let spec =
+      match Run.Spec.of_string spec_str with
+      | Ok s -> s
+      | Error msg ->
+        prerr_endline msg;
+        exit 2
+    in
+    Printf.printf "scenario pipeline: %s (capacity %d)\n"
+      (Run.Spec.to_string spec) capacity;
+    (match
+       (Run.execute_full spec, Run.execute_full ~log_capacity:capacity spec)
+     with
+    | Some (Some o_u, a_u), Some (Some o_b, a_b) ->
+      let v_u = o_u.S.o_view and v_b = o_b.S.o_view in
+      let n_u = Array.length v_u.Sim.Engine.v_events in
+      let n_b = Array.length v_b.Sim.Engine.v_events in
+      let total_u = n_u + v_u.Sim.Engine.v_events_dropped in
+      let total_b = n_b + v_b.Sim.Engine.v_events_dropped in
+      check "artifact identical under ring" (a_u = a_b)
+        "bounded run was judged differently";
+      check "retained <= capacity" (n_b <= capacity)
+        (Printf.sprintf "%d events retained" n_b);
+      check "drop accounting exact" (total_b = total_u)
+        (Printf.sprintf "%d+dropped=%d vs %d" n_b total_b total_u);
+      check "events hash exact under ring"
+        (v_u.Sim.Engine.v_events_hash = v_b.Sim.Engine.v_events_hash)
+        (Printf.sprintf "%016Lx vs %016Lx" v_u.Sim.Engine.v_events_hash
+           v_b.Sim.Engine.v_events_hash);
+      check "streamed races match post-hoc"
+        (Analysis.Races.analyze v_u.Sim.Engine.v_events
+        = a_u.Run.Artifact.races)
+        "post-hoc analyze of the retained log disagrees"
+    | _ ->
+      incr failures;
+      Printf.printf "  FAIL spec did not produce two full runs\n");
+    (* Half 2: a 10x-length RPC run with the observer attached by hand,
+       so peak retention is checked against a stream long enough to
+       wrap the ring many times over. *)
+    let observe log_capacity =
+      let stream = ref (Analysis.Stream.init ()) in
+      let captured = ref None in
+      let attach e =
+        captured := Some e;
+        Sim.Engine.add_consumer e (fun ev ->
+            stream := Analysis.Stream.feed ev !stream)
+      in
+      let _r =
+        Sim.Engine.with_observer ?log_capacity ~attach (fun () ->
+            Harness.Rpc_bench.run (module W) ~iters ~seed ~payload:0 ())
+      in
+      match !captured with
+      | None ->
+        prerr_endline "memsmoke: the benchmark created no engine";
+        exit 2
+      | Some e ->
+        (Sim.Engine.view e, Analysis.Stream.finish !stream,
+         Sim.Engine.events_total e)
+    in
+    Printf.printf "long run: rpc on %s, %d iters (capacity %d)\n" W.name
+      iters capacity;
+    let v_u, sum_u, total_u = observe None in
+    let v_b, sum_b, total_b = observe (Some capacity) in
+    let n_b = Array.length v_b.Sim.Engine.v_events in
+    check "stream long enough to wrap" (total_u > 2 * capacity)
+      (Printf.sprintf "only %d events" total_u);
+    check "peak retained <= capacity" (n_b <= capacity)
+      (Printf.sprintf "%d events retained" n_b);
+    check "totals equal" (total_u = total_b && sum_u.Analysis.Stream.s_events = total_u
+                          && sum_b.Analysis.Stream.s_events = total_b)
+      (Printf.sprintf "%d vs %d (streamed %d/%d)" total_u total_b
+         sum_u.Analysis.Stream.s_events sum_b.Analysis.Stream.s_events);
+    check "drop accounting exact"
+      (v_b.Sim.Engine.v_events_dropped = total_b - n_b)
+      (Printf.sprintf "dropped %d, expected %d"
+         v_b.Sim.Engine.v_events_dropped (total_b - n_b));
+    check "events hash exact under ring"
+      (v_u.Sim.Engine.v_events_hash = v_b.Sim.Engine.v_events_hash)
+      (Printf.sprintf "%016Lx vs %016Lx" v_u.Sim.Engine.v_events_hash
+         v_b.Sim.Engine.v_events_hash);
+    check "streamed races equal at both capacities"
+      (sum_u.Analysis.Stream.s_races = sum_b.Analysis.Stream.s_races)
+      "ring retention changed the streaming findings";
+    check "streamed races match post-hoc on the full log"
+      (Analysis.Races.analyze v_u.Sim.Engine.v_events
+      = sum_u.Analysis.Stream.s_races)
+      "post-hoc analyze of the unbounded log disagrees";
+    check "stream monotone"
+      (sum_u.Analysis.Stream.s_backwards = None
+      && sum_b.Analysis.Stream.s_backwards = None)
+      "a timestamp regression was recorded";
+    if !failures > 0 then begin
+      Printf.printf "%d check(s) failed\n" !failures;
+      exit 1
+    end
+    else print_endline "all checks passed"
+  in
+  Cmd.v
+    (Cmd.info "memsmoke"
+       ~doc:
+         "Bounded-retention smoke: re-run a scenario and a long RPC run \
+          with the event log capped to a small ring buffer, and assert \
+          the judged artifact, events hash and streaming race findings \
+          are identical to the unbounded run while peak retained events \
+          stay within the cap.")
+    Term.(
+      const run $ backend_arg $ capacity_arg $ iters_arg $ spec_arg
+      $ seed_arg)
 
 (* ---- backends ------------------------------------------------------------ *)
 
@@ -647,5 +789,6 @@ let () =
             lint_cmd;
             races_cmd;
             repro_cmd;
+            memsmoke_cmd;
             backends_cmd;
           ]))

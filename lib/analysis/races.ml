@@ -4,98 +4,160 @@ type finding = { r_rule : string; r_obj : string; r_detail : string }
 
 let pp_finding ppf f = Fmt.pf ppf "%s %s: %s" f.r_rule f.r_obj f.r_detail
 
-(* Accumulator filled during the single pass over the event array;
-   per-object streams are prepended (newest first) and frozen into
-   arrival-order arrays once the pass is done. *)
-type acc = {
-  mutable a_sends : (int * int * string * Vclock.t) list;  (* pos, fiber, op, clock *)
-  mutable a_n_recvs : int;
-  mutable a_queued_sigs : (int * int * Vclock.t) list;  (* pos, fiber, clock *)
-  mutable a_seens : (int * Vclock.t) list;
-  mutable a_n_wakes : int;  (* woke=true signals *)
-  mutable a_waits : (int * int * Vclock.t) list;
-  mutable a_moves : (int * int * Vclock.t) list;
+(* Streaming per-object state.  The detector used to index a fully
+   retained event array and run the rules over frozen arrival-order
+   arrays; this is the incremental port: each event updates per-object
+   state at arrival, and [findings] replays only the rule conclusions.
+
+   What must be carried forward, and why it stays small:
+
+   - Sends are retained in full (index, fiber, op, clock).  R-MSG is
+     pairwise over sends, so every send's clock can still race a future
+     send; the pair count and the earliest racing pair are folded at
+     arrival, so concluding the rule is O(1).  R-MOVE reads the same
+     list.
+   - Queued signals, waits and seens are FIFO-matched by position
+     against final consumption counts, which lets consumed prefixes be
+     pruned the moment the matching seen/wake arrives: a signal whose
+     index is below the running seen count can never reappear in the
+     surviving suffix the rules inspect, and symmetrically for waits
+     against wake handoffs.  A seen is retained only while an unserved
+     signal precedes it — otherwise no surviving signal can ever pair
+     with it under the [npos > spos] clause.
+   - Receives, wakes and seens otherwise contribute only running
+     counters.  The high-volume kinds (Block/Note/Spawn/...) are never
+     retained at all. *)
+type obj_state = {
+  mutable os_sends : (int * int * string * Vclock.t) list;
+      (* send index, fiber, op, clock — newest first *)
+  mutable os_n_sends : int;
+  mutable os_n_recvs : int;
+  (* R-MSG aggregation, folded at send arrival. *)
+  mutable os_pairs : int;
+  mutable os_first : (int * int * string * int * string) option;
+      (* earlier send index, its fiber and op, later fiber and op *)
+  (* R-SIG live suffixes. *)
+  os_sigs : (int * int * int * Vclock.t) Queue.t;
+      (* signal index, stream position, fiber, clock *)
+  mutable os_n_sigs : int;
+  mutable os_n_seens : int;
+  os_seens : (int * Vclock.t) Queue.t;  (* stream position, clock *)
+  os_waits : (int * int * Vclock.t) Queue.t;  (* wait index, fiber, clock *)
+  mutable os_n_waits : int;
+  mutable os_n_wakes : int;  (* woke=true signals *)
+  (* R-MOVE. *)
+  mutable os_moves : (int * Vclock.t) list;  (* fiber, clock — newest first *)
 }
+
+type state = {
+  mutable st_pos : int;  (* stream position of the next event *)
+  st_tbl : (string, obj_state) Hashtbl.t;
+}
+
+let init () = { st_pos = 0; st_tbl = Hashtbl.create 64 }
 
 let fresh () =
   {
-    a_sends = [];
-    a_n_recvs = 0;
-    a_queued_sigs = [];
-    a_seens = [];
-    a_n_wakes = 0;
-    a_waits = [];
-    a_moves = [];
+    os_sends = [];
+    os_n_sends = 0;
+    os_n_recvs = 0;
+    os_pairs = 0;
+    os_first = None;
+    os_sigs = Queue.create ();
+    os_n_sigs = 0;
+    os_n_seens = 0;
+    os_seens = Queue.create ();
+    os_waits = Queue.create ();
+    os_n_waits = 0;
+    os_n_wakes = 0;
+    os_moves = [];
   }
 
-(* Frozen per-object index: arrival-order arrays, so every rule reads
-   counts and positions in O(1) instead of re-walking lists. *)
-type slot = {
-  sends : (int * int * string * Vclock.t) array;
-  n_recvs : int;
-  queued_sigs : (int * int * Vclock.t) array;
-  seens : (int * Vclock.t) array;
-  n_wakes : int;
-  waits : (int * int * Vclock.t) array;
-  moves : (int * int * Vclock.t) array;
-}
+let slot st obj =
+  match Hashtbl.find_opt st.st_tbl obj with
+  | Some s -> s
+  | None ->
+    let s = fresh () in
+    Hashtbl.add st.st_tbl obj s;
+    s
 
-let freeze a =
-  let arr l = Array.of_list (List.rev l) in
-  {
-    sends = arr a.a_sends;
-    n_recvs = a.a_n_recvs;
-    queued_sigs = arr a.a_queued_sigs;
-    seens = arr a.a_seens;
-    n_wakes = a.a_n_wakes;
-    waits = arr a.a_waits;
-    moves = arr a.a_moves;
-  }
-
-(* One pass over the structured log; nothing else ever touches the
-   events again. *)
-let index (events : Event.t array) =
-  let tbl = Hashtbl.create 64 in
-  let slot obj =
-    match Hashtbl.find_opt tbl obj with
-    | Some s -> s
-    | None ->
-      let s = fresh () in
-      Hashtbl.add tbl obj s;
-      s
-  in
-  Array.iteri
-    (fun pos (ev : Event.t) ->
-      let fid = ev.Event.ev_fiber and clk = ev.Event.ev_clock in
-      match ev.Event.ev_kind with
-      | Event.Send { obj; op } ->
-        let s = slot obj in
-        s.a_sends <- (pos, fid, op, clk) :: s.a_sends
-      | Event.Receive { obj; _ } ->
-        let s = slot obj in
-        s.a_n_recvs <- s.a_n_recvs + 1
-      | Event.Signal { obj; woke = false } ->
-        let s = slot obj in
-        s.a_queued_sigs <- (pos, fid, clk) :: s.a_queued_sigs
-      | Event.Signal { obj; woke = true } ->
-        let s = slot obj in
-        s.a_n_wakes <- s.a_n_wakes + 1
-      | Event.Signal_seen { obj } ->
-        let s = slot obj in
-        s.a_seens <- (pos, clk) :: s.a_seens
-      | Event.Wait { obj } ->
-        let s = slot obj in
-        s.a_waits <- (pos, fid, clk) :: s.a_waits
-      | Event.Link_move { obj } ->
-        let s = slot obj in
-        s.a_moves <- (pos, fid, clk) :: s.a_moves
-      | Event.Spawn _ | Event.Crash _ | Event.Note _ | Event.Block _
-      | Event.Drop _ | Event.Fault _ ->
-        ())
-    events;
-  let frozen = Hashtbl.create (Hashtbl.length tbl) in
-  Hashtbl.iter (fun obj a -> Hashtbl.add frozen obj (freeze a)) tbl;
-  frozen
+let feed st (ev : Event.t) =
+  let pos = st.st_pos in
+  st.st_pos <- pos + 1;
+  let fid = ev.Event.ev_fiber and clk = ev.Event.ev_clock in
+  match ev.Event.ev_kind with
+  | Event.Send { obj; op } ->
+    let s = slot st obj in
+    let idx = s.os_n_sends in
+    s.os_n_sends <- idx + 1;
+    (* Fold R-MSG at arrival: count concurrent predecessors, and track
+       the pair with the lowest earlier-send index — replaying the old
+       ascending (i, j) double loop, whose first hit is exactly the
+       minimal (i, j) in lexicographic order. *)
+    let min_i = ref (-1) and min_f = ref 0 and min_op = ref "" in
+    List.iter
+      (fun (i, fi, opi, ci) ->
+        if Vclock.concurrent ci clk then begin
+          s.os_pairs <- s.os_pairs + 1;
+          if !min_i < 0 || i < !min_i then begin
+            min_i := i;
+            min_f := fi;
+            min_op := opi
+          end
+        end)
+      s.os_sends;
+    (if !min_i >= 0 then
+       match s.os_first with
+       | Some (i0, _, _, _, _) when i0 <= !min_i -> ()
+       | _ -> s.os_first <- Some (!min_i, !min_f, !min_op, fid, op));
+    s.os_sends <- (idx, fid, op, clk) :: s.os_sends
+  | Event.Receive { obj; _ } ->
+    let s = slot st obj in
+    s.os_n_recvs <- s.os_n_recvs + 1
+  | Event.Signal { obj; woke = false } ->
+    let s = slot st obj in
+    let idx = s.os_n_sigs in
+    s.os_n_sigs <- idx + 1;
+    (* Positionally consumed already?  Then it can never be part of the
+       surviving suffix the rules look at. *)
+    if idx >= s.os_n_seens then Queue.add (idx, pos, fid, clk) s.os_sigs
+  | Event.Signal { obj; woke = true } ->
+    let s = slot st obj in
+    s.os_n_wakes <- s.os_n_wakes + 1;
+    while
+      (not (Queue.is_empty s.os_waits))
+      &&
+      let i, _, _ = Queue.peek s.os_waits in
+      i < s.os_n_wakes
+    do
+      ignore (Queue.pop s.os_waits)
+    done
+  | Event.Signal_seen { obj } ->
+    let s = slot st obj in
+    s.os_n_seens <- s.os_n_seens + 1;
+    while
+      (not (Queue.is_empty s.os_sigs))
+      &&
+      let i, _, _, _ = Queue.peek s.os_sigs in
+      i < s.os_n_seens
+    do
+      ignore (Queue.pop s.os_sigs)
+    done;
+    (* Retain the seen only while an unserved signal precedes it: any
+       signal arriving later has a larger stream position, so the
+       latched-interrupt clause [npos > spos] could never match it. *)
+    if not (Queue.is_empty s.os_sigs) then Queue.add (pos, clk) s.os_seens
+  | Event.Wait { obj } ->
+    let s = slot st obj in
+    let idx = s.os_n_waits in
+    s.os_n_waits <- idx + 1;
+    if idx >= s.os_n_wakes then Queue.add (idx, fid, clk) s.os_waits
+  | Event.Link_move { obj } ->
+    let s = slot st obj in
+    s.os_moves <- (fid, clk) :: s.os_moves
+  | Event.Spawn _ | Event.Crash _ | Event.Note _ | Event.Block _
+  | Event.Drop _ | Event.Fault _ ->
+    ()
 
 (* Sorted object-name array: rule output order, and the substrate for
    the R-MOVE prefix range search. *)
@@ -119,27 +181,17 @@ let lower_bound (objs : string array) key =
   done;
   !lo
 
-(* R-MSG: concurrent sends into the same queue. *)
+let queue_to_list q = List.rev (Queue.fold (fun acc x -> x :: acc) [] q)
+
+(* R-MSG: concurrent sends into the same queue — already folded, just
+   read the conclusion. *)
 let message_races tbl objs =
   List.filter_map
     (fun obj ->
       let s = Hashtbl.find tbl obj in
-      let sends = s.sends in
-      let first = ref None in
-      let count = ref 0 in
-      Array.iteri
-        (fun i (_, fi, opi, ci) ->
-          for j = i + 1 to Array.length sends - 1 do
-            let _, fj, opj, cj = sends.(j) in
-            if Vclock.concurrent ci cj then begin
-              incr count;
-              if !first = None then first := Some (fi, opi, fj, opj)
-            end
-          done)
-        sends;
-      match !first with
+      match s.os_first with
       | None -> None
-      | Some (fi, opi, fj, opj) ->
+      | Some (_, fi, opi, fj, opj) ->
         Some
           {
             r_rule = "R-MSG";
@@ -148,54 +200,57 @@ let message_races tbl objs =
               Printf.sprintf
                 "sends %S (fiber #%d) and %S (fiber #%d) are concurrent: \
                  arrival order is a scheduler accident (%d pair%s)"
-                opi fi opj fj !count
-                (if !count = 1 then "" else "s");
+                opi fi opj fj s.os_pairs
+                (if s.os_pairs = 1 then "" else "s");
           })
     (Array.to_list objs)
 
 (* R-SIG: a lost-signal window.  Two shapes:
 
    - Check-then-block miss (Chrysalis dual queues): a queued signal
-     that no later signal-seen consumed, while a waiter on the same
-     object is itself unserved (never popped by a woke=true handoff)
-     and has a clock concurrent with the signal.  Served waits are
-     excluded: a wait that a later enqueue handed a datum to lost
-     nothing, whatever its clock says.
+     that no signal-seen consumed, while a waiter on the same object is
+     itself unserved (never popped by a woke=true handoff) and has a
+     clock concurrent with the signal.  Served waits are excluded: a
+     wait that a later enqueue handed a datum to lost nothing, whatever
+     its clock says.
 
    - Latched-interrupt loss (SODA software interrupts, where consumers
      never block): a queued signal that the FIFO drain skipped, with a
      later signal-seen on the same object whose clock is concurrent —
      the drain raced the latch and missed it.
 
-   FIFO matching is positional: the first [n] queued signals pair with
-   the [n] seens, the first [m] waits with the [m] woke=true handoffs —
-   array suffixes here, where the list version recomputed lengths per
-   element. *)
+   FIFO matching is positional against final counts; the feed pass
+   pruned consumed prefixes as the counts grew, so the queues here hold
+   exactly the surviving suffixes the old frozen-array version indexed
+   into. *)
 let signal_races tbl objs =
   List.filter_map
     (fun obj ->
       let s = Hashtbl.find tbl obj in
-      let n_seens = Array.length s.seens in
-      let n_waits = Array.length s.waits in
-      let find_from arr start f =
-        let n = Array.length arr in
-        let rec go i = if i >= n then None else
-          match f arr.(i) with Some _ as r -> r | None -> go (i + 1)
-        in
-        go start
-      in
+      let sigs = queue_to_list s.os_sigs in
       let blocked_miss =
-        find_from s.queued_sigs n_seens (fun (_, sfid, sclk) ->
-            find_from s.waits s.n_wakes (fun (_, wfid, wclk) ->
-                if Vclock.concurrent sclk wclk then Some (sfid, wfid) else None))
+        let waits = queue_to_list s.os_waits in
+        List.find_map
+          (fun (_, _, sfid, sclk) ->
+            List.find_map
+              (fun (_, wfid, wclk) ->
+                if Vclock.concurrent sclk wclk then Some (sfid, wfid)
+                else None)
+              waits)
+          sigs
       in
       let latched_miss =
-        if n_waits > 0 then None
+        if s.os_n_waits > 0 then None
         else
-          find_from s.queued_sigs n_seens (fun (spos, sfid, sclk) ->
-              find_from s.seens 0 (fun (npos, nclk) ->
+          let seens = queue_to_list s.os_seens in
+          List.find_map
+            (fun (_, spos, sfid, sclk) ->
+              List.find_map
+                (fun (npos, nclk) ->
                   if npos > spos && Vclock.concurrent sclk nclk then Some sfid
-                  else None))
+                  else None)
+                seens)
+            sigs
       in
       match (blocked_miss, latched_miss) with
       | Some (sfid, wfid), _ ->
@@ -228,13 +283,15 @@ let signal_races tbl objs =
    move and never consumed by a receive on that queue.  The moved end's
    queues all share the ["<end>."] name prefix, so they occupy a
    contiguous range of the sorted object array — a binary search plus a
-   bounded scan replaces the full-table prefix test per moved object. *)
+   bounded scan replaces a full-table prefix test per moved object. *)
 let move_races tbl objs =
   List.filter_map
     (fun mobj ->
       let ms = Hashtbl.find tbl mobj in
-      if Array.length ms.moves = 0 then None
-      else
+      match ms.os_moves with
+      | [] -> None
+      | rev_moves -> (
+        let moves = List.rev rev_moves in
         let prefix = mobj ^ "." in
         let start = lower_bound objs prefix in
         let n = Array.length objs in
@@ -243,28 +300,23 @@ let move_races tbl objs =
           else
             let qobj = objs.(i) in
             let qs = Hashtbl.find tbl qobj in
-            let n_recvs = qs.n_recvs in
-            let n_sends = Array.length qs.sends in
-            let rec scan_sends si =
-              if si >= n_sends then None
-              else if si < n_recvs then scan_sends (si + 1)
-                (* consumed: delivery won *)
-              else
-                let _, sfid, op, sclk = qs.sends.(si) in
-                let n_moves = Array.length ms.moves in
-                let rec scan_moves mi =
-                  if mi >= n_moves then None
-                  else
-                    let _, mfid, mclk = ms.moves.(mi) in
-                    if Vclock.concurrent sclk mclk then
-                      Some (qobj, op, sfid, mfid)
-                    else scan_moves (mi + 1)
-                in
-                (match scan_moves 0 with
-                | Some _ as hit -> hit
-                | None -> scan_sends (si + 1))
+            let rec scan_sends = function
+              | [] -> None
+              | (si, sfid, op, sclk) :: rest ->
+                if si < qs.os_n_recvs then scan_sends rest
+                  (* consumed: delivery won *)
+                else (
+                  match
+                    List.find_map
+                      (fun (mfid, mclk) ->
+                        if Vclock.concurrent sclk mclk then Some mfid
+                        else None)
+                      moves
+                  with
+                  | Some mfid -> Some (qobj, op, sfid, mfid)
+                  | None -> scan_sends rest)
             in
-            (match scan_sends 0 with
+            (match scan_sends (List.rev qs.os_sends) with
             | Some _ as hit -> hit
             | None -> scan_queues (i + 1))
         in
@@ -280,10 +332,16 @@ let move_races tbl objs =
                   "link-end transfer (fiber #%d) races in-flight %S from \
                    fiber #%d on %s: the message was never received"
                   mfid op sfid qobj;
-            })
+            }))
     (Array.to_list objs)
 
+let findings st =
+  let objs = sorted_objs st.st_tbl in
+  message_races st.st_tbl objs
+  @ signal_races st.st_tbl objs
+  @ move_races st.st_tbl objs
+
 let analyze events =
-  let tbl = index events in
-  let objs = sorted_objs tbl in
-  message_races tbl objs @ signal_races tbl objs @ move_races tbl objs
+  let st = init () in
+  Array.iter (feed st) events;
+  findings st

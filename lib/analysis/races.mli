@@ -38,12 +38,27 @@ type finding = {
   r_detail : string;
 }
 
+type state
+(** Incremental detector state: per-object arrival state fed one event
+    at a time, retaining O(live state) rather than the stream — send
+    records (R-MSG is pairwise over them), unserved signal/wait
+    suffixes (consumed prefixes are pruned as the matching seen/wake
+    counts grow), and running counters.  The bulky event kinds
+    (Block/Note/Spawn/...) are never retained. *)
+
+val init : unit -> state
+
+val feed : state -> Sim.Event.t -> unit
+(** Feed the next event, in stream order.  Mutates the state. *)
+
+val findings : state -> finding list
+(** Conclude the rules over the accumulated state.  The state remains
+    usable: feeding more events and concluding again is permitted. *)
+
 val analyze : Sim.Event.t array -> finding list
-(** Events oldest-first, as {!Sim.Engine.events} returns them.  One
-    pass over the array builds per-object indices (arrival-order arrays
-    plus receive/wake counts); every rule then works off those indices,
-    so the whole analysis is O(n log n) in the stream length plus the
-    per-object pairwise send check — the detector never rescans the
-    stream. *)
+(** Events oldest-first, as {!Sim.Engine.events} returns them.
+    Equivalent to [init]/[feed]/[findings] by construction — it {e is}
+    that fold — so post-hoc analysis of a retained log and online
+    analysis of the same stream agree exactly. *)
 
 val pp_finding : Format.formatter -> finding -> unit

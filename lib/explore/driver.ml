@@ -136,6 +136,35 @@ let repro case =
       v.Engine.v_trace);
   Buffer.contents buf
 
+(* The races command's per-scenario report, rendered to a string so the
+   golden tests can pin it byte-for-byte across detector refactors.
+   [artifacts] must align with [scenarios] ([None] = not applicable on
+   this backend, exactly what [Run.execute_many] returns). *)
+let races_report ~backend ~scenarios artifacts =
+  let buf = Buffer.create 1024 in
+  let total = ref 0 in
+  List.iter2
+    (fun sc a ->
+      match a with
+      | None ->
+        Buffer.add_string buf (Printf.sprintf "%-20s n/a on %s\n" sc backend)
+      | Some (a : Run.Artifact.t) ->
+        let races = a.Run.Artifact.races in
+        total := !total + List.length races;
+        if races = [] then
+          Buffer.add_string buf (Printf.sprintf "%-20s clean\n" sc)
+        else begin
+          Buffer.add_string buf
+            (Printf.sprintf "%-20s %d race(s)\n" sc (List.length races));
+          List.iter
+            (fun f ->
+              Buffer.add_string buf
+                (Format.asprintf "  %a@." Analysis.Races.pp_finding f))
+            races
+        end)
+    scenarios artifacts;
+  (Buffer.contents buf, !total)
+
 let summary results =
   let tbl = Hashtbl.create 16 in
   List.iter

@@ -111,3 +111,14 @@ val repro : case -> string
 
 val summary : result list -> string
 (** Per-(scenario, policy) pass/fail table over all results. *)
+
+val races_report :
+  backend:string ->
+  scenarios:string list ->
+  Run.Artifact.t option list ->
+  string * int
+(** The [lynx_sim races] report for one backend: per-scenario
+    clean/n-races lines with finding details, plus the total race
+    count.  [artifacts] aligns with [scenarios]; [None] entries render
+    as ["n/a on <backend>"].  Rendered to a string so tests can pin the
+    output byte-for-byte. *)

@@ -34,33 +34,48 @@ let run_outcome (spec : Spec.t) =
    miss their scripted finale ([ok] false), but they must never deadlock
    the run, leak fibers, crash threads with non-LYNX errors, break
    link-end conservation, or deliver a message that was never sent. *)
-let judge (spec : Spec.t) (o : S.outcome) =
+let clean_failure (o : S.outcome) =
   let dirty =
     try List.assoc "lynx.thread_exceptions_dirty" o.S.o_counters
     with Not_found -> 0
   in
-  let extra =
-    if dirty > 0 then
-      [
-        {
-          Invariant.v_invariant = "clean-failure";
-          v_detail =
-            Printf.sprintf
-              "%d thread(s) died with non-LYNX exceptions under faults" dirty;
-        };
-      ]
-    else []
-  in
+  if dirty > 0 then
+    [
+      {
+        Invariant.v_invariant = "clean-failure";
+        v_detail =
+          Printf.sprintf
+            "%d thread(s) died with non-LYNX exceptions under faults" dirty;
+      };
+    ]
+  else []
+
+let artifact (spec : Spec.t) (o : S.outcome) ~violations ~races =
   {
     Artifact.spec;
     ok = o.S.o_ok;
-    violations = Invariant.check o @ extra;
-    races = Analysis.Races.analyze o.S.o_view.Sim.Engine.v_events;
+    violations;
+    races;
     detail = o.S.o_detail;
     duration = o.S.o_duration;
     counters = o.S.o_counters;
     events_hash = o.S.o_view.Sim.Engine.v_events_hash;
   }
+
+let judge (spec : Spec.t) (o : S.outcome) =
+  artifact spec o
+    ~violations:(Invariant.check o @ clean_failure o)
+    ~races:(Analysis.Races.analyze o.S.o_view.Sim.Engine.v_events)
+
+(* Judge from the streaming-analyzer summary instead of the retained
+   log: the race findings and the monotonicity evidence were
+   accumulated at emission time, so the verdict is exact even when the
+   engine retained only a bounded ring of events (or none). *)
+let judge_streamed (spec : Spec.t) (sum : Analysis.Stream.summary)
+    (o : S.outcome) =
+  artifact spec o
+    ~violations:(Invariant.check_streamed sum o @ clean_failure o)
+    ~races:sum.Analysis.Stream.s_races
 
 (* A wedged or crashed faulted run is itself the finding. *)
 let aborted (spec : Spec.t) exn =
@@ -81,17 +96,34 @@ let aborted (spec : Spec.t) exn =
     events_hash = 0L;
   }
 
-let execute_full (spec : Spec.t) =
-  match run_outcome spec with
-  | None -> None
-  | Some o -> Some (Some o, judge spec o)
+(* The streaming pipeline: install an ambient engine observer for the
+   duration of the run, so the engine the scenario creates internally
+   gets the retention bound and a consumer feeding [Analysis.Stream] at
+   emission time.  The observer is domain-local, exactly like the
+   ambient fault plan, so pool workers never see each other's state. *)
+let run_streamed ?log_capacity (spec : Spec.t) =
+  let state = ref (Analysis.Stream.init ()) in
+  let attach eng =
+    Sim.Engine.add_consumer eng (fun ev ->
+        state := Analysis.Stream.feed ev !state)
+  in
+  let o =
+    Sim.Engine.with_observer ?log_capacity ~attach (fun () ->
+        run_outcome spec)
+  in
+  (o, !state)
+
+let execute_full ?log_capacity (spec : Spec.t) =
+  match run_streamed ?log_capacity spec with
+  | None, _ -> None
+  | Some o, state ->
+    Some (Some o, judge_streamed spec (Analysis.Stream.finish state) o)
   | exception e when spec.Spec.plan <> None -> Some (None, aborted spec e)
 
-let execute (spec : Spec.t) =
-  match run_outcome spec with
+let execute ?log_capacity (spec : Spec.t) =
+  match execute_full ?log_capacity spec with
   | None -> None
-  | Some o -> Some (judge spec o)
-  | exception e when spec.Spec.plan <> None -> Some (aborted spec e)
+  | Some (_, a) -> Some a
 
-let execute_many ?(jobs = 1) specs =
-  Parallel.Pool.map_list ~jobs execute specs
+let execute_many ?(jobs = 1) ?log_capacity specs =
+  Parallel.Pool.map_list ~jobs (execute ?log_capacity) specs

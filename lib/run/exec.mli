@@ -15,24 +15,57 @@ val run_outcome : Spec.t -> Harness.Scenarios.outcome option
     backend names. *)
 
 val judge : Spec.t -> Harness.Scenarios.outcome -> Artifact.t
-(** Judge an already-obtained outcome as if [execute] had produced it:
-    the invariant suite, the clean-failure check (threads must not die
-    with non-LYNX exceptions), and the happens-before race detector. *)
+(** Judge an already-obtained outcome post-hoc, from its retained event
+    log and trace window: the invariant suite, the clean-failure check
+    (threads must not die with non-LYNX exceptions), and the
+    happens-before race detector over [v_events].  This is the
+    reference path the differential suite compares the streaming
+    pipeline against; it also judges synthetic views test fixtures
+    build by hand. *)
 
-val execute_full : Spec.t -> (Harness.Scenarios.outcome option * Artifact.t) option
+val judge_streamed :
+  Spec.t -> Analysis.Stream.summary -> Harness.Scenarios.outcome -> Artifact.t
+(** Judge from a streaming-analyzer summary accumulated at emission
+    time instead of the retained log — exact at any [log_capacity],
+    including zero.  Equal to {!judge} whenever the log was fully
+    retained. *)
+
+val run_streamed :
+  ?log_capacity:int ->
+  Spec.t ->
+  Harness.Scenarios.outcome option * Analysis.Stream.t
+(** {!run_outcome} with the streaming analyzer attached: installs an
+    ambient {!Sim.Engine.with_observer} for the duration of the run, so
+    the scenario's private engine bounds its retained log to
+    [log_capacity] (if given) and feeds every emitted event to an
+    {!Analysis.Stream} analyzer.  Returns the outcome and the analyzer
+    state ([finish] it to judge). *)
+
+val execute_full :
+  ?log_capacity:int ->
+  Spec.t ->
+  (Harness.Scenarios.outcome option * Artifact.t) option
 (** [execute], also returning the raw outcome — repro dumps read the
     engine view (trace tail, fiber states) from it.  The outcome is
     [None] only when a faulted run aborted (no engine view exists). *)
 
-val execute : Spec.t -> Artifact.t option
-(** The pipeline: run, judge, package.  [None] when the scenario does
-    not apply to the backend.  Under a fault plan, a run that deadlocks
-    or crashes the engine is reported as a ["no-deadlock"] violation
-    artifact, not an exception — the wedged run is itself the finding.
-    Clean runs let exceptions propagate. *)
+val execute : ?log_capacity:int -> Spec.t -> Artifact.t option
+(** The pipeline: run with the streaming analyzer attached, judge from
+    its summary, package.  [None] when the scenario does not apply to
+    the backend.  Under a fault plan, a run that deadlocks or crashes
+    the engine is reported as a ["no-deadlock"] violation artifact, not
+    an exception — the wedged run is itself the finding.  Clean runs
+    let exceptions propagate.
 
-val execute_many : ?jobs:int -> Spec.t list -> Artifact.t option list
+    [log_capacity] bounds the events the engine retains (a ring of the
+    last [k]); the artifact — findings, counters, [events_hash] — is
+    identical at every capacity, only the trace tail a repro dump can
+    show is truncated. *)
+
+val execute_many :
+  ?jobs:int -> ?log_capacity:int -> Spec.t list -> Artifact.t option list
 (** [execute] mapped over the {!Parallel.Pool} domain pool.  Every spec
-    owns a private engine and the pool preserves input order, so the
-    result list — and anything rendered from it — is byte-identical at
-    every [jobs] count (default 1). *)
+    owns a private engine and a private analyzer (the observer is
+    domain-local), and the pool preserves input order, so the result
+    list — and anything rendered from it — is byte-identical at every
+    [jobs] count (default 1). *)

@@ -105,3 +105,35 @@ let at_most_once (o : S.outcome) =
 let check (o : S.outcome) =
   no_deadlock o @ no_leaked_fibers o @ time_monotone o @ link_conservation o
   @ at_most_once o
+
+(* Streamed monotonicity: the analyzer recorded the first regression
+   and the final timestamp while the run was still emitting, so the
+   check holds over the {e whole} structured stream — the post-hoc
+   variant above only sees the recent trace window of legacy-rendered
+   events, and nothing at all when [legacy_trace] is off. *)
+let time_monotone_streamed (sum : Analysis.Stream.summary) (o : S.outcome) =
+  let backwards =
+    match sum.Analysis.Stream.s_backwards with
+    | Some (t, label, prev) ->
+      [
+        violation "time-monotone"
+          "trace went backwards at %s (event %S, previous %s)"
+          (Time.to_string t) label (Time.to_string prev);
+      ]
+    | None -> []
+  in
+  let beyond_now =
+    match sum.Analysis.Stream.s_last with
+    | Some (t, label) when Time.(t > o.S.o_view.Engine.v_now) ->
+      [
+        violation "time-monotone" "trace event %S at %s is after the clock %s"
+          label (Time.to_string t)
+          (Time.to_string o.S.o_view.Engine.v_now);
+      ]
+    | _ -> []
+  in
+  backwards @ beyond_now
+
+let check_streamed (sum : Analysis.Stream.summary) (o : S.outcome) =
+  no_deadlock o @ no_leaked_fibers o @ time_monotone_streamed sum o
+  @ link_conservation o @ at_most_once o

@@ -32,4 +32,15 @@ val check : Harness.Scenarios.outcome -> violation list
     - [at-most-once]: no message is delivered more often than it was sent
       ([lynx.messages_delivered <= lynx.messages_sent]). *)
 
+val check_streamed :
+  Analysis.Stream.summary -> Harness.Scenarios.outcome -> violation list
+(** The same suite evaluated against a streaming-analyzer summary: the
+    structural checks (deadlock, leaked fibers, counters) read the
+    outcome exactly as {!check} does, while time monotonicity comes
+    from the running counters the analyzer maintained over the whole
+    stream instead of the retained trace window — so the verdict does
+    not depend on how much of the log was kept.  On any run whose
+    stream is monotone (every run the engine itself produces), the
+    result is identical to {!check}. *)
+
 val to_string : violation -> string

@@ -42,12 +42,19 @@ type t = {
      about clocks at all. *)
   mutable amb_clock : Vclock.t;
   (* Structured event log: a growable array, oldest first.  No per-event
-     list cell, and O(1) drop accounting once [event_cap] is reached. *)
+     list cell, and O(1) drop accounting once [event_cap] is reached.
+     With [log_cap = Some k] the array is a ring holding the last [k]
+     events instead ([ev_start] is the read offset of the oldest);
+     retention never affects [events_hash], [events_total] or the
+     consumers, which see every emitted event. *)
   mutable ev_arr : Event.t array;
   mutable ev_len : int;
+  mutable ev_start : int;
   event_cap : int;
-  mutable events_dropped : int;
+  log_cap : int option;
+  mutable events_total : int;
   mutable events_hash : int;
+  mutable consumers : (Event.t -> unit) list;
   stamps : (string, Vclock.t) Hashtbl.t;
 }
 
@@ -64,37 +71,69 @@ type _ Effect.t += Suspend_with : string * ((('a, exn) result -> unit) -> unit) 
    carries the fiber's own clock back), half the queue traffic. *)
 type _ Effect.t += Sleep_for : Time.t -> unit Effect.t
 
+(* Ambient observer, delivered through domain-local storage exactly like
+   [Faults.with_plan]: sweep drivers want to bound retention and attach a
+   streaming consumer to engines that scenarios create internally, without
+   threading parameters through every scenario signature. *)
+type observer = { ob_log_capacity : int option; ob_attach : t -> unit }
+
+let ambient_observer : observer option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
 let create ?(seed = 42) ?(policy = Fifo) ?trace_capacity
-    ?(event_capacity = 200_000) ?(legacy_trace = true) ?(on_crash = `Raise) () =
+    ?(event_capacity = 200_000) ?log_capacity ?(legacy_trace = true)
+    ?(on_crash = `Raise) () =
   let sched_seed =
     match policy with
     | Fifo -> 0
     | Random_order s -> s
     | Delay_jitter { jitter_seed; _ } -> jitter_seed
   in
-  {
-    now = Time.zero;
-    seq = 0;
-    next_fid = 0;
-    tasks = Taskq.create ();
-    fibers = [];
-    current = None;
-    stopped = false;
-    crashes = [];
-    on_crash;
-    root_rng = Rng.create seed;
-    policy;
-    sched_rng = Rng.create sched_seed;
-    trace_buf = Trace.create ?capacity:trace_capacity ();
-    legacy_trace;
-    amb_clock = Vclock.empty;
-    ev_arr = [||];
-    ev_len = 0;
-    event_cap = event_capacity;
-    events_dropped = 0;
-    events_hash = 0x0bf29ce484222325;
-    stamps = Hashtbl.create 64;
-  }
+  let observer = Domain.DLS.get ambient_observer in
+  let log_cap =
+    match (log_capacity, observer) with
+    | Some _, _ -> log_capacity
+    | None, Some ob -> ob.ob_log_capacity
+    | None, None -> None
+  in
+  let t =
+    {
+      now = Time.zero;
+      seq = 0;
+      next_fid = 0;
+      tasks = Taskq.create ();
+      fibers = [];
+      current = None;
+      stopped = false;
+      crashes = [];
+      on_crash;
+      root_rng = Rng.create seed;
+      policy;
+      sched_rng = Rng.create sched_seed;
+      trace_buf = Trace.create ?capacity:trace_capacity ();
+      legacy_trace;
+      amb_clock = Vclock.empty;
+      ev_arr = [||];
+      ev_len = 0;
+      ev_start = 0;
+      event_cap = event_capacity;
+      log_cap;
+      events_total = 0;
+      events_hash = 0x0bf29ce484222325;
+      consumers = [];
+      stamps = Hashtbl.create 64;
+    }
+  in
+  (match observer with Some ob -> ob.ob_attach t | None -> ());
+  t
+
+let add_consumer t f = t.consumers <- t.consumers @ [ f ]
+
+let with_observer ?log_capacity ~attach f =
+  let saved = Domain.DLS.get ambient_observer in
+  Domain.DLS.set ambient_observer
+    (Some { ob_log_capacity = log_capacity; ob_attach = attach });
+  Fun.protect ~finally:(fun () -> Domain.DLS.set ambient_observer saved) f
 
 let now t = t.now
 let rng t = t.root_rng
@@ -106,12 +145,43 @@ let trace t = t.trace_buf
 let current_clock t =
   match t.current with Some f -> f.clock | None -> t.amb_clock
 
-let grow_events t =
+let grow_events t ~cap_limit =
   let cap = Array.length t.ev_arr in
-  let ncap = min t.event_cap (if cap = 0 then 256 else cap * 2) in
+  let ncap = min cap_limit (if cap = 0 then 256 else cap * 2) in
   let narr = Array.make ncap t.ev_arr.(0) in
   Array.blit t.ev_arr 0 narr 0 t.ev_len;
   t.ev_arr <- narr
+
+(* Retention only: which slot (if any) keeps [ev].  The fingerprint,
+   total count and consumers have already seen the event regardless. *)
+let retain t ev =
+  match t.log_cap with
+  | None ->
+    if t.ev_len < t.event_cap then begin
+      if t.ev_len = Array.length t.ev_arr then
+        if t.ev_len = 0 then t.ev_arr <- Array.make (min t.event_cap 256) ev
+        else grow_events t ~cap_limit:t.event_cap;
+      t.ev_arr.(t.ev_len) <- ev;
+      t.ev_len <- t.ev_len + 1
+    end
+  | Some k ->
+    if k > 0 then
+      if t.ev_len < k then begin
+        (* Growth phase: behaves like the plain append mode until the
+           ring is full, so short runs pay nothing for the bound. *)
+        if t.ev_len = Array.length t.ev_arr then
+          if t.ev_len = 0 then t.ev_arr <- Array.make (min k 256) ev
+          else grow_events t ~cap_limit:k;
+        t.ev_arr.(t.ev_len) <- ev;
+        t.ev_len <- t.ev_len + 1
+      end
+      else begin
+        (* Full: overwrite the oldest slot and advance the read offset.
+           The backing array has length exactly [k] here (growth is
+           capped at [k]). *)
+        t.ev_arr.(t.ev_start) <- ev;
+        t.ev_start <- (t.ev_start + 1) mod k
+      end
 
 (* Events emitted by a fiber tick its component so successive events are
    strictly ordered.  Scheduler-context events only snapshot the ambient
@@ -126,21 +196,20 @@ let emit t kind =
     | None -> (t.amb_clock, -1)
   in
   let ev = { Event.ev_time = t.now; ev_fiber = fid; ev_clock = clock; ev_kind = kind } in
-  if t.ev_len < t.event_cap then begin
-    if t.ev_len = Array.length t.ev_arr then
-      if t.ev_len = 0 then t.ev_arr <- Array.make 256 ev else grow_events t;
-    t.ev_arr.(t.ev_len) <- ev;
-    t.ev_len <- t.ev_len + 1
-  end
-  else t.events_dropped <- t.events_dropped + 1;
+  t.events_total <- t.events_total + 1;
+  retain t ev;
   (* FNV-style word fold in native ints: the byte-wise int64 variant in
      [Trace] costs 24 boxed multiplications per event, which dominates
      the emit path.  This fingerprint is new in this log format and has
-     no stored-hash compatibility to honour. *)
+     no stored-hash compatibility to honour.  It folds every emitted
+     event, retained or not, so it is exact at any [log_capacity]. *)
   let fold h i = (h lxor i) * 0x100000001B3 in
   t.events_hash <-
     fold (fold (fold t.events_hash (Time.to_ns t.now)) fid)
       (Event.kind_tag kind);
+  (match t.consumers with
+  | [] -> ()
+  | cs -> List.iter (fun f -> f ev) cs);
   if t.legacy_trace then
     match Event.legacy_render ev with
     | Some msg -> Trace.record t.trace_buf t.now msg
@@ -148,22 +217,36 @@ let emit t kind =
 
 let record t msg = emit t (Event.Note msg)
 
-(* Trim-to-fit once, then share: the first call after a run shrinks the
-   backing array to the live prefix and every later call returns it
-   without copying.  Appending after a snapshot is safe — the full
-   array forces the grow path, which copies. *)
+(* Append mode trims to fit, then shares: the first call after a run
+   replaces the backing array with a fresh copy of the live prefix
+   ([Array.sub]) and every later call returns that same array without
+   copying.  Appending after a snapshot is safe — a later [emit] sees a
+   full array, takes the grow path, and copies into a new backing array,
+   so the snapshot the caller holds is never mutated; the next [events]
+   call then trims again and returns a different array.  Callers must
+   treat the result as read-only but never see it change underneath
+   them.  Ring mode copies unconditionally: the ring keeps rotating, so
+   sharing its storage would let later emits overwrite a returned
+   snapshot in place. *)
 let events t =
-  if Array.length t.ev_arr <> t.ev_len then
-    t.ev_arr <- Array.sub t.ev_arr 0 t.ev_len;
-  t.ev_arr
+  match t.log_cap with
+  | None ->
+    if Array.length t.ev_arr <> t.ev_len then
+      t.ev_arr <- Array.sub t.ev_arr 0 t.ev_len;
+    t.ev_arr
+  | Some _ ->
+    let n = Array.length t.ev_arr in
+    Array.init t.ev_len (fun i -> t.ev_arr.((t.ev_start + i) mod n))
 
 let iter_events t f =
   let arr = t.ev_arr in
+  let n = Array.length arr in
   for i = 0 to t.ev_len - 1 do
-    f arr.(i)
+    f arr.((t.ev_start + i) mod n)
   done
 
-let events_dropped t = t.events_dropped
+let events_total t = t.events_total
+let events_dropped t = t.events_total - t.ev_len
 let events_hash t = Int64.of_int t.events_hash
 
 let stamp t key = Hashtbl.replace t.stamps key (current_clock t)
@@ -360,7 +443,7 @@ let view ?(trace_window = 64) t =
     v_trace_count = Trace.count t.trace_buf;
     v_events = events t;
     v_events_hash = Int64.of_int t.events_hash;
-    v_events_dropped = t.events_dropped;
+    v_events_dropped = t.events_total - t.ev_len;
   }
 
 let drain t ~limit =

@@ -37,6 +37,7 @@ val create :
   ?policy:policy ->
   ?trace_capacity:int ->
   ?event_capacity:int ->
+  ?log_capacity:int ->
   ?legacy_trace:bool ->
   ?on_crash:[ `Raise | `Record ] ->
   unit ->
@@ -50,7 +51,36 @@ val create :
     drivers (explore sweeps, race scans) disable it to keep the emit
     path allocation-light, at the cost of an empty string trace
     ({!view}'s [v_trace] fields become vacuous).  The structured event
-    log and {!events_hash} are unaffected either way. *)
+    log and {!events_hash} are unaffected either way.
+
+    [log_capacity] bounds the {e retained} structured log: [Some k]
+    keeps only the last [k] events in a ring buffer (so a long run
+    retains O(k) memory), [Some 0] retains nothing, and [None] (the
+    default) keeps the full prefix up to [event_capacity] (default
+    200k), after which further events are dropped from retention.
+    Retention never affects {!events_hash}, {!events_total}, or what
+    streaming consumers ({!add_consumer}) observe — those see every
+    emitted event, so determinism fingerprints and online analyses are
+    exact at any capacity.  When unset, [create] adopts the capacity of
+    the ambient {!with_observer} scope, if any. *)
+
+val add_consumer : t -> (Event.t -> unit) -> unit
+(** Registers a streaming consumer called synchronously from {!emit}
+    with every structured event, in emission order — including events
+    the log does not retain (past [event_capacity], or rotated out of a
+    [log_capacity] ring).  Consumers run in emission order of
+    registration and must not call back into the engine. *)
+
+val with_observer :
+  ?log_capacity:int -> attach:(t -> unit) -> (unit -> 'a) -> 'a
+(** [with_observer ?log_capacity ~attach f] runs [f] with an ambient
+    engine observer installed (domain-local, like [Faults.with_plan]):
+    every engine created during [f] on this domain defaults its
+    [log_capacity] to the given one (an explicit [create ~log_capacity]
+    wins) and is passed to [attach] right after construction — the hook
+    drivers use to bound retention and register streaming consumers on
+    engines that scenarios create internally.  Nesting shadows; the
+    previous observer is restored on exit. *)
 
 val now : t -> Time.t
 val rng : t -> Rng.t
@@ -79,17 +109,33 @@ val emit : t -> Event.kind -> unit
     the new kinds are not, so the legacy stream is unperturbed. *)
 
 val events : t -> Event.t array
-(** All structured events so far, oldest first.  The first call after a
-    run trims the internal buffer to size and returns it; later calls
-    (and {!view} snapshots) share the same array without copying.
-    Treat it as read-only. *)
+(** The retained structured events, oldest first.
+
+    {b Aliasing contract (append mode, the default).}  The first call
+    after a run trims the internal buffer to the live prefix and returns
+    it; later calls (and {!view} snapshots) return {e that same array}
+    without copying, for as long as no new events are emitted.  Emitting
+    after a snapshot never mutates the snapshot: the next {!emit} takes
+    the grow path, which copies into a fresh backing array, and the next
+    [events] call trims again and returns a {e different} array with the
+    old one left intact.  Treat the result as read-only.
+
+    {b Ring mode} ([create ~log_capacity]): every call returns a fresh,
+    unwrapped copy of the ring contents — the ring keeps rotating, so
+    its storage is never shared with callers. *)
 
 val iter_events : t -> (Event.t -> unit) -> unit
 (** Iterates the structured log oldest-first without materialising
     anything. *)
 
+val events_total : t -> int
+(** Total number of events emitted so far, retained or not.  Exact at
+    any [log_capacity]. *)
+
 val events_dropped : t -> int
-(** Events discarded after [event_capacity] (default 200k) was hit. *)
+(** Events emitted but no longer retained: past [event_capacity]
+    (default 200k) in append mode, or rotated out of the ring in
+    [log_capacity] mode.  Always [events_total - Array.length (events t)]. *)
 
 val events_hash : t -> int64
 (** Incremental FNV-1a fingerprint of the full structured stream

@@ -56,5 +56,10 @@ val legacy_render : t -> string option
     identical to what pre-structured versions recorded; [None] for the
     new kinds, which must not perturb the legacy stream. *)
 
+val kind_to_string : kind -> string
+(** Short human-readable form of the kind alone, e.g.
+    ["send ep.req req"] — the label streaming analyzers use when citing
+    an event they did not retain. *)
+
 val describe : t -> string
 (** Full human-readable form, including the vector clock. *)

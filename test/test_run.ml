@@ -262,6 +262,47 @@ let test_golden_explore () =
   Alcotest.(check string)
     "explore summary unchanged" golden_explore_summary (D.summary results)
 
+(* Captured from `lynx_sim races -b charlotte --seed 1` and
+   `-b soda --seed 2` before the detector went streaming. *)
+let golden_races_charlotte =
+  "move                 clean\n\
+   enclosures           clean\n\
+   cross-request        clean\n\
+   open-close           clean\n\
+   lost-enclosure       clean\n\
+   bounced-enclosure    clean\n\
+   hint-repair          n/a on charlotte\n\
+   pair-pressure        n/a on charlotte\n"
+
+let golden_races_soda =
+  "move                 clean\n\
+   enclosures           clean\n\
+   cross-request        clean\n\
+   open-close           clean\n\
+   lost-enclosure       clean\n\
+   bounced-enclosure    clean\n\
+   hint-repair          clean\n\
+   pair-pressure        clean\n"
+
+let test_golden_races () =
+  let report backend seed =
+    let specs =
+      List.map
+        (fun sc -> Spec.v ~policy:Spec.Fifo ~scenario:sc ~backend seed)
+        S.names
+    in
+    D.races_report ~backend ~scenarios:S.names
+      (R.execute_many ~jobs:2 specs)
+  in
+  let charlotte, n_charlotte = report "charlotte" 1 in
+  Alcotest.(check string)
+    "races report unchanged (charlotte)" golden_races_charlotte charlotte;
+  Alcotest.(check int) "race total (charlotte)" 0 n_charlotte;
+  let soda, n_soda = report "soda" 2 in
+  Alcotest.(check string)
+    "races report unchanged (soda)" golden_races_soda soda;
+  Alcotest.(check int) "race total (soda)" 0 n_soda
+
 let test_golden_chaos () =
   let results =
     C.sweep ~jobs:2
@@ -294,5 +335,6 @@ let () =
         [
           Alcotest.test_case "explore summary" `Slow test_golden_explore;
           Alcotest.test_case "chaos table" `Slow test_golden_chaos;
+          Alcotest.test_case "races report" `Slow test_golden_races;
         ] );
     ]

@@ -224,6 +224,124 @@ let event_log_tests =
         done;
         checki "kept" 4 (Array.length (Engine.events e));
         checki "dropped" 6 (Engine.events_dropped e));
+    Alcotest.test_case
+      "ring capacities 0/1/k/length keep the last k, hash exact" `Quick
+      (fun () ->
+        (* The same program at every capacity: the retained window is
+           the stream's tail, and the fingerprint, total and drop
+           accounting never depend on how much was kept. *)
+        let program ?log_capacity () =
+          let e = Engine.create ?log_capacity () in
+          ignore
+            (Engine.spawn e ~name:"w" (fun () ->
+                 for i = 1 to 10 do
+                   Engine.record e (Printf.sprintf "n%d" i);
+                   Engine.sleep e (Time.ms 1)
+                 done));
+          Engine.run e;
+          e
+        in
+        let full = program () in
+        let all = Array.to_list (Array.map Event.describe (Engine.events full)) in
+        let total = Engine.events_total full in
+        checki "no drops unbounded" 0 (Engine.events_dropped full);
+        checkb "stream wraps the small rings" true (total > 8);
+        List.iter
+          (fun k ->
+            let e = program ~log_capacity:k () in
+            let kept =
+              Array.to_list (Array.map Event.describe (Engine.events e))
+            in
+            let keep = min k total in
+            let expect =
+              List.filteri (fun i _ -> i >= total - keep) all
+            in
+            checkb
+              (Printf.sprintf "capacity %d keeps the tail" k)
+              true (kept = expect);
+            checkb
+              (Printf.sprintf "capacity %d same fingerprint" k)
+              true
+              (Int64.equal (Engine.events_hash full) (Engine.events_hash e));
+            checki
+              (Printf.sprintf "capacity %d total" k)
+              total (Engine.events_total e);
+            checki
+              (Printf.sprintf "capacity %d dropped" k)
+              (total - keep) (Engine.events_dropped e);
+            let seen = ref [] in
+            Engine.iter_events e (fun ev ->
+                seen := Event.describe ev :: !seen);
+            checkb
+              (Printf.sprintf "capacity %d iter agrees" k)
+              true
+              (List.rev !seen = kept))
+          [ 0; 1; 5; total; total + 7 ]);
+    Alcotest.test_case "consumers see every event at any capacity" `Quick
+      (fun () ->
+        let e = Engine.create ~log_capacity:2 () in
+        let fed = ref [] in
+        Engine.add_consumer e (fun ev -> fed := Event.describe ev :: !fed);
+        for i = 1 to 9 do
+          Engine.record e (string_of_int i)
+        done;
+        checki "ring bounded" 2 (Array.length (Engine.events e));
+        checki "consumer saw the full stream" 9 (List.length !fed);
+        checki "total exact" 9 (Engine.events_total e));
+    Alcotest.test_case "ring snapshots never alias the ring storage" `Quick
+      (fun () ->
+        let e = Engine.create ~log_capacity:4 () in
+        for i = 1 to 6 do
+          Engine.record e (string_of_int i)
+        done;
+        let a = Engine.events e and b = Engine.events e in
+        checkb "fresh array per call" false (a == b);
+        checkb "equal contents" true (a = b);
+        (* Later emission must not reach into a returned snapshot. *)
+        let before = Array.map Event.describe a in
+        for i = 7 to 12 do
+          Engine.record e (string_of_int i)
+        done;
+        checkb "snapshot untouched by wraparound" true
+          (before = Array.map Event.describe a));
+    Alcotest.test_case
+      "append-mode snapshot after new events is a fresh array" `Quick
+      (fun () ->
+        let e = Engine.create () in
+        Engine.record e "one";
+        let s1 = Engine.events e in
+        Engine.record e "two";
+        let s2 = Engine.events e in
+        checkb "second call returns a fresh array" false (s1 == s2);
+        checki "old snapshot keeps its length" 1 (Array.length s1);
+        checki "new snapshot sees both" 2 (Array.length s2);
+        checkb "quiescent calls share again" true (s2 == Engine.events e));
+    Alcotest.test_case "with_observer bounds and attaches ambiently" `Quick
+      (fun () ->
+        let attached = ref 0 in
+        Engine.with_observer ~log_capacity:3
+          ~attach:(fun _ -> incr attached)
+          (fun () ->
+            let e = Engine.create () in
+            for i = 1 to 8 do
+              Engine.record e (string_of_int i)
+            done;
+            checki "ambient capacity adopted" 3
+              (Array.length (Engine.events e));
+            (* An explicit capacity wins over the ambient one. *)
+            let e' = Engine.create ~log_capacity:5 () in
+            for i = 1 to 8 do
+              Engine.record e' (string_of_int i)
+            done;
+            checki "explicit capacity wins" 5
+              (Array.length (Engine.events e'));
+            checki "both engines attached" 2 !attached);
+        let e = Engine.create () in
+        for i = 1 to 8 do
+          Engine.record e (string_of_int i)
+        done;
+        checki "observer scope restored" 8 (Array.length (Engine.events e));
+        checki "no further attach" 2 !attached);
   ]
 
 let rng_property =
