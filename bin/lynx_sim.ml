@@ -8,6 +8,7 @@
      explore   scenario x backend x seed x policy sweep with invariants
      chaos     the same sweep under fault plans
      lint      static protocol linter
+     static    may-race / may-deadlock prediction, soundness-gated sweep
      races     happens-before race detector replay
      repro     re-run any spec string and dump its full artifact
      memsmoke  bounded-retention equivalence smoke (ring buffer vs full log)
@@ -16,7 +17,10 @@
    Every sweep row is identified by a run spec
    "scenario/backend/seed/policy[@plan]" (see lib/run): `repro` accepts
    exactly that string from any table, log or CI failure, and --json on
-   explore/chaos/races emits the judged artifacts machine-readably. *)
+   explore/chaos/races/static emits the judged artifacts machine-readably.
+   The explore, chaos and races sweeps additionally cross-check every
+   dynamic race finding against the static prediction set (a gap fails
+   the run — see lib/run/soundness.mli). *)
 
 open Cmdliner
 module BW = Harness.Backend_world
@@ -236,12 +240,15 @@ let resolve_filter what filter have =
     filter
   end
 
-(* Emit the judged artifacts of a spec list as JSON and return the
-   failing subset per [failed]. *)
+(* Emit the judged artifacts of a spec list as JSON on stdout, run the
+   dynamic-vs-static soundness cross-check (reported on stderr so the
+   JSON stream stays pure), and say whether anything failed. *)
 let json_sweep ~jobs ~failed specs =
   let artifacts = List.filter_map Fun.id (Run.execute_many ~jobs specs) in
   print_string (Run.Artifact.list_to_json artifacts);
-  List.filter failed artifacts
+  let gaps = Run.Soundness.check artifacts in
+  if gaps <> [] then prerr_string (Run.Soundness.report gaps);
+  gaps <> [] || List.exists failed artifacts
 
 (* ---- explore: schedule exploration with invariant checking ---------------- *)
 
@@ -282,11 +289,12 @@ let explore_cmd =
         prerr_endline "no runs selected";
         exit 2
       end;
-      if json_sweep ~jobs ~failed:Run.Artifact.strict_failed specs <> [] then
+      if json_sweep ~jobs ~failed:Run.Artifact.strict_failed specs then
         exit 1
     end
     else begin
-      let results = D.sweep ~jobs ~scenarios ~backends ~seeds ~policies () in
+      let pairs = D.sweep_full ~jobs ~scenarios ~backends ~seeds ~policies () in
+      let results = List.map (fun (c, a) -> D.of_artifact c a) pairs in
       if results = [] then begin
         print_endline "no runs selected";
         exit 2
@@ -295,15 +303,18 @@ let explore_cmd =
         (List.length results) (List.length scenarios) (List.length backends)
         (List.length seeds) (List.length policies);
       print_string (D.summary results);
-      match D.failures results with
+      let fails = D.failures results in
+      let gaps = D.soundness_gaps pairs in
+      (match fails with
       | [] -> print_endline "\nall invariants held on every run"
       | fails ->
         Printf.printf "\n%d failing runs; repro dumps follow\n\n"
           (List.length fails);
         List.iter
           (fun r -> print_string (D.repro r.D.r_case); print_newline ())
-          fails;
-        exit 1
+          fails);
+      print_string (Run.Soundness.report gaps);
+      if fails <> [] || gaps <> [] then exit 1
     end
   in
   Cmd.v
@@ -370,11 +381,12 @@ let chaos_cmd =
         prerr_endline "no runs selected";
         exit 2
       end;
-      if json_sweep ~jobs ~failed:Run.Artifact.anomalous specs <> [] then
+      if json_sweep ~jobs ~failed:Run.Artifact.anomalous specs then
         exit 1
     end
     else begin
-      let results = C.sweep ~jobs ~scenarios ~backends ~seeds ~plans () in
+      let pairs = C.sweep_full ~jobs ~scenarios ~backends ~seeds ~plans () in
+      let results = List.map (fun (c, a) -> C.of_artifact c a) pairs in
       if results = [] then begin
         print_endline "no runs selected";
         exit 2
@@ -386,15 +398,18 @@ let chaos_cmd =
       print_string (C.table results);
       print_newline ();
       print_string (C.summary results);
-      match C.failures results with
+      let fails = C.failures results in
+      let gaps = Run.Soundness.check (List.map snd pairs) in
+      (match fails with
       | [] -> print_endline "\nall invariants held on every faulted run"
       | fails ->
         Printf.printf "\n%d failing runs; repro dumps follow\n\n"
           (List.length fails);
         List.iter
           (fun r -> print_string (C.repro r.C.h_case); print_newline ())
-          fails;
-        exit 1
+          fails);
+      print_string (Run.Soundness.report gaps);
+      if fails <> [] || gaps <> [] then exit 1
     end
   in
   Cmd.v
@@ -457,6 +472,213 @@ let lint_cmd =
           unreachable entries, leaked link ends, wait cycles.")
     Term.(const run $ scenario_filter)
 
+(* ---- static: may-race / may-deadlock prediction ---------------------------- *)
+
+let static_cmd =
+  let names =
+    let doc =
+      "Protocol to analyse: a scenario name, \"broken\" (the lint \
+       fixture), or one of the broken-s-msg / broken-s-sig / \
+       broken-s-move / broken-s-dlk static fixtures; repeatable.  \
+       Default: every shipped scenario."
+    in
+    Arg.(value & pos_all string [] & info [] ~docv:"NAME" ~doc)
+  in
+  let sweep =
+    let doc =
+      "Soundness differential: also run the scenario x backend x seed x \
+       fault-plan product dynamically and assert every dynamic race \
+       finding lies inside the static prediction set, then print the \
+       coverage report (predictions never observed by any run)."
+    in
+    Arg.(value & flag & info [ "sweep" ] ~doc)
+  in
+  let seeds =
+    Arg.(
+      value & opt int 2
+      & info [ "n"; "seeds" ] ~docv:"N"
+          ~doc:"Seeds 1..N for the $(b,--sweep) product.")
+  in
+  (* Local JSON writer, same objects/strings/numbers subset as
+     Run.Artifact (bench/compare.exe is the schema check). *)
+  let escape s =
+    let buf = Buffer.create (String.length s) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+  in
+  let indexed buf ~indent render = function
+    | [] -> Buffer.add_string buf "{}"
+    | items ->
+      Buffer.add_string buf "{\n";
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          Buffer.add_string buf
+            (Printf.sprintf "%s  \"%d\": \"%s\"" indent i
+               (escape (render item))))
+        items;
+      Buffer.add_string buf (Printf.sprintf "\n%s}" indent)
+  in
+  let run names sweep n jobs json =
+    let module St = Analysis.Static in
+    let lookup name =
+      if name = "broken" then Some Analysis.Catalog.broken
+      else
+        match List.assoc_opt name Analysis.Catalog.broken_static with
+        | Some p -> Some p
+        | None -> Analysis.Catalog.find name
+    in
+    let targets =
+      match names with
+      | [] -> Analysis.Catalog.all
+      | names ->
+        List.map
+          (fun name ->
+            match lookup name with
+            | Some p -> (name, p)
+            | None ->
+              Printf.eprintf "unknown protocol %S (have: %s, broken, %s)\n"
+                name
+                (String.concat ", " (List.map fst Analysis.Catalog.all))
+                (String.concat ", "
+                   (List.map fst Analysis.Catalog.broken_static));
+              exit 2)
+          names
+    in
+    let analysed = List.map (fun (name, p) -> (name, St.predict p)) targets in
+    let alarms =
+      List.concat_map (fun (_, preds) -> St.alarms preds) analysed
+    in
+    (* The --sweep differential runs the scenario subset of the targets
+       (broken fixtures have no runnable scenario) over every backend,
+       seed 1..n and fault plan, clean and screened runs included. *)
+    let sweep_artifacts =
+      if not sweep then None
+      else begin
+        let scenarios =
+          List.filter (fun (name, _) -> List.mem name S.names) targets
+          |> List.map fst
+        in
+        let seeds = List.init (max n 0) (fun i -> i + 1) in
+        let plans =
+          None
+          :: Some Run.Spec.Screen
+          :: List.map Option.some Run.Spec.all_plans
+        in
+        let specs =
+          List.concat_map
+            (fun scenario ->
+              List.concat_map
+                (fun backend ->
+                  List.concat_map
+                    (fun seed ->
+                      List.map
+                        (fun plan -> Run.Spec.v ?plan ~scenario ~backend seed)
+                        plans)
+                    seeds)
+                BW.names)
+            scenarios
+        in
+        Some (List.filter_map Fun.id (Run.execute_many ~jobs specs))
+      end
+    in
+    let gaps =
+      match sweep_artifacts with
+      | None -> []
+      | Some artifacts -> Run.Soundness.check artifacts
+    in
+    if json then begin
+      let buf = Buffer.create 2048 in
+      let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+      pr "{\n  \"schema\": \"lynx-run/1\",\n";
+      pr "  \"protocols\": ";
+      (match analysed with
+      | [] -> pr "{}"
+      | analysed ->
+        pr "{\n";
+        List.iteri
+          (fun i (name, preds) ->
+            if i > 0 then pr ",\n";
+            pr "    \"%s\": {\n" (escape name);
+            pr "      \"predictions\": ";
+            indexed buf ~indent:"      "
+              (Format.asprintf "%a" St.pp_prediction)
+              preds;
+            pr ",\n      \"alarms\": %d\n    }" (List.length (St.alarms preds)))
+          analysed;
+        pr "\n  }");
+      pr ",\n  \"alarms\": %d" (List.length alarms);
+      (match sweep_artifacts with
+      | None -> ()
+      | Some artifacts ->
+        let coverage = Run.Soundness.coverage artifacts in
+        pr ",\n  \"soundness\": {\n";
+        pr "    \"runs\": %d,\n" (List.length artifacts);
+        pr "    \"gaps\": ";
+        indexed buf ~indent:"    "
+          (fun (g : Run.Soundness.gap) ->
+            Printf.sprintf "%s: %s %s — %s"
+              (Run.Spec.to_string g.Run.Soundness.g_spec)
+              g.Run.Soundness.g_race.Analysis.Races.r_rule
+              g.Run.Soundness.g_race.Analysis.Races.r_obj
+              g.Run.Soundness.g_reason)
+          gaps;
+        pr ",\n    \"coverage\": ";
+        indexed buf ~indent:"    "
+          (fun (l : Run.Soundness.coverage_line) ->
+            Printf.sprintf "%s %s"
+              (if l.Run.Soundness.c_observed then "seen" else "unseen")
+              (Format.asprintf "%a" St.pp_prediction
+                 l.Run.Soundness.c_prediction))
+          coverage;
+        pr "\n  }");
+      pr "\n}\n";
+      print_string (Buffer.contents buf)
+    end
+    else begin
+      List.iter
+        (fun (name, preds) ->
+          let n_alarm = List.length (St.alarms preds) in
+          if preds = [] then
+            Printf.printf "%-20s no concurrency predicted\n" name
+          else begin
+            Printf.printf "%-20s %d prediction(s), %d alarm(s)\n" name
+              (List.length preds) n_alarm;
+            List.iter
+              (fun p -> Format.printf "  %a@." St.pp_prediction p)
+              preds
+          end)
+        analysed;
+      match sweep_artifacts with
+      | None -> ()
+      | Some artifacts ->
+        Printf.printf "\nsoundness sweep: %d runs (all backends, seeds 1..%d, \
+                       every plan)\n"
+          (List.length artifacts) (max n 0);
+        print_string (Run.Soundness.report gaps);
+        print_newline ();
+        print_string (Run.Soundness.coverage_report artifacts)
+    end;
+    if alarms <> [] || gaps <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "static"
+       ~doc:
+         "Predict may-races and may-deadlocks from the protocol graph \
+          alone (S-MSG, S-SIG, S-MOVE, S-DLK over a may-happen-in-parallel \
+          approximation), and optionally cross-check the dynamic race \
+          detector against the prediction set over the full sweep product.")
+    Term.(const run $ names $ sweep $ seeds $ jobs_arg $ json_arg)
+
 (* ---- races: happens-before race detector ---------------------------------- *)
 
 let races_cmd =
@@ -472,15 +694,18 @@ let races_cmd =
     (* Run every scenario replay on the pool, then print in scenario
        order — jobs never print, so the report is identical at any -j. *)
     let artifacts = Run.execute_many ~jobs specs in
+    let gaps = Run.Soundness.check (List.filter_map Fun.id artifacts) in
     if json then begin
       print_string
         (Run.Artifact.list_to_json (List.filter_map Fun.id artifacts));
+      if gaps <> [] then prerr_string (Run.Soundness.report gaps);
       if
-        List.exists
-          (function
-            | Some a -> a.Run.Artifact.races <> []
-            | None -> false)
-          artifacts
+        gaps <> []
+        || List.exists
+             (function
+               | Some a -> a.Run.Artifact.races <> []
+               | None -> false)
+             artifacts
       then exit 1
     end
     else begin
@@ -488,7 +713,8 @@ let races_cmd =
         Explore.Driver.races_report ~backend:W.name ~scenarios:names artifacts
       in
       print_string report;
-      if total > 0 then exit 1
+      print_string (Run.Soundness.report gaps);
+      if total > 0 || gaps <> [] then exit 1
     end
   in
   Cmd.v
@@ -787,6 +1013,7 @@ let () =
             explore_cmd;
             chaos_cmd;
             lint_cmd;
+            static_cmd;
             races_cmd;
             repro_cmd;
             memsmoke_cmd;

@@ -306,6 +306,136 @@ let find name = List.assoc_opt name all
    wants a str (SIG02); the leak0-leak1 link is never touched (LNK01,
    both ends); T1 and T2 each call before reaching the entry that would
    serve the other's call (DLK01). *)
+(* ---- broken fixtures for the static analyzer, one per alarm rule.
+   Each is constructed so that exactly its own rule raises an alarm
+   (and lint stays quiet, so the static and dynamic-shaped defect
+   families stay separable in tests). *)
+
+(* Two coroutine threads of M send on the same end M.ms; S serves with
+   a single await which could pair with either call, so no rendezvous
+   orders one send before the other: S-MSG. *)
+let broken_s_msg =
+  {
+    p_name = "broken-s-msg";
+    p_links = [ ("M.ms", "S.ms") ];
+    p_items =
+      [
+        Entry
+          { thread = "S"; endpoint = "S.ms"; op = None; sg = None; mode = Await };
+        Call
+          { thread = "M.a"; endpoint = "M.ms"; op = "put"; args = []; results = [] };
+        Call
+          { thread = "M.b"; endpoint = "M.ms"; op = "put"; args = []; results = [] };
+      ];
+  }
+
+(* Two coroutine threads of S post receive contexts on the same end
+   S.cx that disagree about operation, signature and mode; whichever
+   wins the race decides whether C's call type-checks: S-SIG. *)
+let broken_s_sig =
+  {
+    p_name = "broken-s-sig";
+    p_links = [ ("C.cx", "S.cx") ];
+    p_items =
+      [
+        Entry
+          {
+            thread = "S.h";
+            endpoint = "S.cx";
+            op = Some "get";
+            sg = Some (ty ~results:[ Lynx.Ty.Str ] []);
+            mode = Handler;
+          };
+        Entry
+          { thread = "S.a"; endpoint = "S.cx"; op = None; sg = None; mode = Await };
+        Call
+          {
+            thread = "C";
+            endpoint = "C.cx";
+            op = "get";
+            args = [];
+            results = [ Lynx.Ty.Str ];
+          };
+      ];
+  }
+
+(* A moves M.x to B inside a "take" request while U, unordered with the
+   move, pings toward M.x — and nobody ever posts an entry on M.x, so
+   the ping chases an end that may be mid-flight: S-MOVE. *)
+let broken_s_move =
+  {
+    p_name = "broken-s-move";
+    p_links = [ ("M.x", "U.x"); ("A.ab", "B.ab") ];
+    p_items =
+      [
+        Entry
+          { thread = "B"; endpoint = "B.ab"; op = None; sg = None; mode = Await };
+        Call
+          {
+            thread = "A";
+            endpoint = "A.ab";
+            op = "take";
+            args = [ Lynx.Ty.Link ];
+            results = [];
+          };
+        Move { endpoint = "M.x"; via = "A.ab" };
+        Call
+          { thread = "U"; endpoint = "U.x"; op = "ping"; args = []; results = [] };
+      ];
+  }
+
+(* The [broken] fixture's T1/T2 handshake cycle, except a helper
+   coroutine T2.h also posts a "ping" handler at its own top.  Under
+   the must reading the helper can always serve T1's call, so DLK01 is
+   silent; but if the helper is crashed, busy or starved — exactly what
+   fault plans arrange — T1's call falls to T2's own handler, which
+   sits behind T2's call: a wait-for cycle some widened schedule can
+   reach, S-DLK. *)
+let broken_s_dlk =
+  {
+    p_name = "broken-s-dlk";
+    p_links = [ ("T1.w1", "T2.w1"); ("T1.w2", "T2.w2") ];
+    p_items =
+      [
+        Call
+          { thread = "T1"; endpoint = "T1.w1"; op = "ping"; args = []; results = [] };
+        Entry
+          {
+            thread = "T1";
+            endpoint = "T1.w2";
+            op = Some "pong";
+            sg = None;
+            mode = Handler;
+          };
+        Call
+          { thread = "T2"; endpoint = "T2.w2"; op = "pong"; args = []; results = [] };
+        Entry
+          {
+            thread = "T2";
+            endpoint = "T2.w1";
+            op = Some "ping";
+            sg = None;
+            mode = Handler;
+          };
+        Entry
+          {
+            thread = "T2.h";
+            endpoint = "T2.w1";
+            op = Some "ping";
+            sg = None;
+            mode = Handler;
+          };
+      ];
+  }
+
+let broken_static =
+  [
+    ("broken-s-msg", broken_s_msg);
+    ("broken-s-sig", broken_s_sig);
+    ("broken-s-move", broken_s_move);
+    ("broken-s-dlk", broken_s_dlk);
+  ]
+
 let broken =
   {
     p_name = "broken";

@@ -16,3 +16,10 @@ val broken : Protocol.t
 (** Fixture with three seeded defects: a signature argument-type
     mismatch (SIG02), an untouched link (LNK01 on both ends) and a
     two-thread call-before-serve wait cycle (DLK01). *)
+
+val broken_static : (string * Protocol.t) list
+(** One deliberately defective fixture per {!Static} alarm rule —
+    [broken-s-msg], [broken-s-sig], [broken-s-move], [broken-s-dlk] —
+    each constructed so exactly its own rule raises an alarm and the
+    linter stays quiet (the S-DLK fixture in particular is DLK01-clean:
+    its cycle only appears under the fault-widened May reading). *)

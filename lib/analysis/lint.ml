@@ -142,116 +142,31 @@ let check_leaks p =
    after some other call [c2], then [c1] cannot complete before [c2]
    does: edge c1 -> c2.  A cycle in that relation is a deadlock under
    every interleaving, so the rule has no scheduling-dependent false
-   positives; calls that no entry serves contribute no edges. *)
+   positives; calls that no entry serves contribute no edges.  The
+   graph itself lives in {!Mhp} (the [Must] quantifier), shared with
+   Static's fault-widened S-DLK. *)
 
 let check_deadlocks p =
-  (* Identify every Entry/Call by (thread, position in program order). *)
-  let located =
-    List.concat_map
-      (fun th ->
-        List.mapi
-          (fun i it -> (th, i, it))
-          (Protocol.items_of_thread p th))
-      (Protocol.threads p)
-  in
-  let calls =
-    Array.of_list
-      (List.filter_map
-         (fun (th, i, it) ->
-           match it with
-           | Protocol.Call c -> Some (th, i, c.endpoint, c.op)
-           | _ -> None)
-         located)
-  in
-  let n = Array.length calls in
-  let servers_of endpoint op =
-    let peer = Protocol.peer p endpoint in
-    List.filter_map
-      (fun (th, i, it) ->
-        match it with
-        | Protocol.Entry e when e.endpoint = peer && (e.op = None || e.op = Some op)
-          ->
-            Some (th, i)
-        | _ -> None)
-      located
-  in
-  let edges = Array.make (max n 1) [] in
-  Array.iteri
-    (fun i (_, _, endpoint, op) ->
-      let servers = servers_of endpoint op in
-      if servers <> [] then
-        Array.iteri
-          (fun j (jth, jpos, _, _) ->
-            if i <> j then
-              let blocks_all =
-                List.for_all
-                  (fun (eth, epos) -> eth = jth && jpos < epos)
-                  servers
-              in
-              if blocks_all then edges.(i) <- j :: edges.(i))
-          calls)
-    calls;
-  (* Tarjan SCC; a component of size > 1 (or a self-loop) is a cycle. *)
-  let index = ref 0 in
-  let idx = Array.make (max n 1) (-1) in
-  let low = Array.make (max n 1) 0 in
-  let on_stack = Array.make (max n 1) false in
-  let stack = ref [] in
-  let sccs = ref [] in
-  let rec strong v =
-    idx.(v) <- !index;
-    low.(v) <- !index;
-    incr index;
-    stack := v :: !stack;
-    on_stack.(v) <- true;
-    List.iter
-      (fun w ->
-        if idx.(w) < 0 then (
-          strong w;
-          low.(v) <- min low.(v) low.(w))
-        else if on_stack.(w) then low.(v) <- min low.(v) idx.(w))
-      edges.(v);
-    if low.(v) = idx.(v) then (
-      let rec pop acc =
-        match !stack with
-        | w :: rest ->
-            stack := rest;
-            on_stack.(w) <- false;
-            if w = v then w :: acc else pop (w :: acc)
-        | [] -> acc
-      in
-      sccs := pop [] :: !sccs)
-  in
-  for v = 0 to n - 1 do
-    if idx.(v) < 0 then strong v
-  done;
-  List.filter_map
+  let m = Mhp.of_protocol p in
+  let calls = Mhp.calls m in
+  List.map
     (fun scc ->
-      let cyclic =
-        match scc with
-        | [ v ] -> List.mem v edges.(v)
-        | _ :: _ :: _ -> true
-        | [] -> false
+      let names =
+        List.map
+          (fun v ->
+            let c = calls.(v) in
+            Printf.sprintf "%s.%s" c.Mhp.c_thread c.Mhp.c_op)
+          (List.sort compare scc)
       in
-      if not cyclic then None
-      else
-        let names =
-          List.map
-            (fun v ->
-              let th, _, _, op = calls.(v) in
-              Printf.sprintf "%s.%s" th op)
-            (List.sort compare scc)
-        in
-        Some
-          {
-            f_code = "DLK01";
-            f_protocol = p.Protocol.p_name;
-            f_subject = String.concat " <-> " names;
-            f_detail =
-              "static wait-for cycle: each call can only be served after the \
-               other completes";
-          })
-    (List.rev !sccs)
+      {
+        f_code = "DLK01";
+        f_protocol = p.Protocol.p_name;
+        f_subject = String.concat " <-> " names;
+        f_detail =
+          "static wait-for cycle: each call can only be served after the \
+           other completes";
+      })
+    (Mhp.cycles (Mhp.wait_edges m Mhp.Must))
 
 let check p =
   Protocol.validate p;

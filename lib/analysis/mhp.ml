@@ -1,0 +1,301 @@
+(* May-happen-in-parallel analysis over a protocol graph.
+
+   The protocol's items are compiled into a small event graph: every
+   call contributes a send event and a completion event, every entry a
+   serve event.  Must-happen-before edges come from two sources only —
+   program order within a thread, and rendezvous edges where a call and
+   an entry match each other *uniquely* — so the transitive closure is
+   an under-approximation of the true happens-before of every
+   execution, and its complement (the MHP relation the predicates below
+   expose) over-approximates the concurrency any schedule, fault plan
+   or backend can exhibit.  That direction is the whole point: the
+   static race rules in {!Static} fire on MHP pairs, so anything the
+   dynamic detector can ever observe is inside the prediction set. *)
+
+type call = {
+  c_idx : int;
+  c_thread : string;
+  c_pos : int;
+  c_endpoint : string;
+  c_op : string;
+}
+
+type entry = {
+  e_idx : int;
+  e_thread : string;
+  e_pos : int;
+  e_endpoint : string;
+  e_op : string option;
+  e_sg : Lynx.Ty.signature option;
+  e_mode : Protocol.mode;
+}
+
+type move = { m_idx : int; m_endpoint : string; m_via : string; m_call : int option }
+
+type t = {
+  protocol : Protocol.t;
+  calls : call array;
+  entries : entry array;
+  moves : move array;
+  reach : bool array array;  (* reach.(a).(b): event a must precede b *)
+}
+
+let protocol t = t.protocol
+let calls t = t.calls
+let entries t = t.entries
+let moves t = t.moves
+
+(* Event numbering: send of call i = 2i, completion of call i = 2i+1,
+   serve of entry k = 2·|calls| + k. *)
+let send_node _t i = 2 * i
+let done_node _t i = (2 * i) + 1
+let serve_node t k = (2 * Array.length t.calls) + k
+
+let located p =
+  List.concat_map
+    (fun th ->
+      List.mapi (fun i it -> (th, i, it)) (Protocol.items_of_thread p th))
+    (Protocol.threads p)
+
+(* Entries that can serve an invocation of [op] sent on [endpoint]:
+   those on the peer end whose operation filter matches. *)
+let servers t (c : call) =
+  let peer = Protocol.peer t.protocol c.c_endpoint in
+  List.filter
+    (fun e -> e.e_endpoint = peer && (e.e_op = None || e.e_op = Some c.c_op))
+    (Array.to_list t.entries)
+
+(* Calls an entry can serve: the mirror image. *)
+let servable t (e : entry) =
+  let peer = Protocol.peer t.protocol e.e_endpoint in
+  List.filter
+    (fun c -> c.c_endpoint = peer && (e.e_op = None || e.e_op = Some c.c_op))
+    (Array.to_list t.calls)
+
+let of_protocol p =
+  Protocol.validate p;
+  let loc = located p in
+  let calls = ref [] and entries = ref [] in
+  let n_calls = ref 0 and n_entries = ref 0 in
+  List.iter
+    (fun (th, pos, it) ->
+      match it with
+      | Protocol.Call c ->
+        calls :=
+          {
+            c_idx = !n_calls;
+            c_thread = th;
+            c_pos = pos;
+            c_endpoint = c.endpoint;
+            c_op = c.op;
+          }
+          :: !calls;
+        incr n_calls
+      | Protocol.Entry e ->
+        entries :=
+          {
+            e_idx = !n_entries;
+            e_thread = th;
+            e_pos = pos;
+            e_endpoint = e.endpoint;
+            e_op = e.op;
+            e_sg = e.sg;
+            e_mode = e.mode;
+          }
+          :: !entries;
+        incr n_entries
+      | Protocol.Move _ | Protocol.Destroy _ | Protocol.Retain _ -> ())
+    loc;
+  let calls = Array.of_list (List.rev !calls) in
+  let entries = Array.of_list (List.rev !entries) in
+  (* A move rides in the message of the call that encloses it: the
+     nearest preceding call (in declaration order) on the [via]
+     endpoint.  A move with no such call is left unanchored and is
+     concurrent with everything — the conservative reading. *)
+  let call_at = Hashtbl.create 16 in
+  Array.iter (fun c -> Hashtbl.replace call_at (c.c_thread, c.c_pos) c.c_idx) calls;
+  let moves = ref [] and n_moves = ref 0 in
+  let pos_of = Hashtbl.create 16 in
+  let last_call_on = Hashtbl.create 16 in
+  List.iter
+    (fun it ->
+      match it with
+      | Protocol.Call c ->
+        let th = Option.get (Protocol.item_thread it) in
+        let pos = Option.value ~default:0 (Hashtbl.find_opt pos_of th) in
+        Hashtbl.replace pos_of th (pos + 1);
+        Hashtbl.replace last_call_on c.endpoint (Hashtbl.find call_at (th, pos))
+      | Protocol.Entry _ ->
+        let th = Option.get (Protocol.item_thread it) in
+        let pos = Option.value ~default:0 (Hashtbl.find_opt pos_of th) in
+        Hashtbl.replace pos_of th (pos + 1)
+      | Protocol.Move { endpoint; via } ->
+        moves :=
+          {
+            m_idx = !n_moves;
+            m_endpoint = endpoint;
+            m_via = via;
+            m_call = Hashtbl.find_opt last_call_on via;
+          }
+          :: !moves;
+        incr n_moves
+      | Protocol.Destroy _ | Protocol.Retain _ -> ())
+    p.Protocol.p_items;
+  let moves = Array.of_list (List.rev !moves) in
+  let n = (2 * Array.length calls) + Array.length entries in
+  let succ = Array.make (max n 1) [] in
+  let add_edge a b = succ.(a) <- b :: succ.(a) in
+  let t0 = { protocol = p; calls; entries; moves; reach = [||] } in
+  let start_node (th, pos) =
+    match Hashtbl.find_opt call_at (th, pos) with
+    | Some i -> send_node t0 i
+    | None ->
+      let e =
+        Array.to_list entries
+        |> List.find (fun e -> e.e_thread = th && e.e_pos = pos)
+      in
+      serve_node t0 e.e_idx
+  in
+  let end_node (th, pos) =
+    match Hashtbl.find_opt call_at (th, pos) with
+    | Some i -> done_node t0 i
+    | None -> start_node (th, pos)
+  in
+  (* A call's send precedes its completion. *)
+  Array.iter (fun c -> add_edge (send_node t0 c.c_idx) (done_node t0 c.c_idx)) calls;
+  (* Program order within each thread. *)
+  List.iter
+    (fun th ->
+      let items = Protocol.items_of_thread p th in
+      List.iteri
+        (fun i _ ->
+          if i > 0 then add_edge (end_node (th, i - 1)) (start_node (th, i)))
+        items)
+    (Protocol.threads p);
+  (* Rendezvous: when a call and an entry match each other uniquely,
+     every execution serves that call at that entry, so the send
+     precedes the serve and the serve precedes the completion.  Any
+     ambiguity (several possible servers, or an entry that could serve
+     several calls) contributes no edge: which pairing wins is a
+     scheduler accident, exactly what MHP must keep visible. *)
+  Array.iter
+    (fun c ->
+      match servers t0 c with
+      | [ e ] when List.map (fun c -> c.c_idx) (servable t0 e) = [ c.c_idx ] ->
+        add_edge (send_node t0 c.c_idx) (serve_node t0 e.e_idx);
+        add_edge (serve_node t0 e.e_idx) (done_node t0 c.c_idx)
+      | _ -> ())
+    calls;
+  (* Transitive closure by DFS from every node; the graphs are tiny
+     (two events per call, one per entry). *)
+  let reach = Array.make_matrix (max n 1) (max n 1) false in
+  let rec visit root v =
+    List.iter
+      (fun w ->
+        if not reach.(root).(w) then begin
+          reach.(root).(w) <- true;
+          visit root w
+        end)
+      succ.(v)
+  in
+  for v = 0 to n - 1 do
+    visit v v
+  done;
+  { t0 with reach }
+
+let concurrent_nodes t a b =
+  (not t.reach.(a).(b)) && not t.reach.(b).(a)
+
+let concurrent_sends t (a : call) (b : call) =
+  concurrent_nodes t (send_node t a.c_idx) (send_node t b.c_idx)
+
+let concurrent_serves t (a : entry) (b : entry) =
+  concurrent_nodes t (serve_node t a.e_idx) (serve_node t b.e_idx)
+
+let concurrent_serve_send t (e : entry) (c : call) =
+  concurrent_nodes t (serve_node t e.e_idx) (send_node t c.c_idx)
+
+let concurrent_move_send t (m : move) (c : call) =
+  match m.m_call with
+  | None -> true
+  | Some i -> i <> c.c_idx && concurrent_nodes t (send_node t i) (send_node t c.c_idx)
+
+(* ---- the wait-for graph, shared by Lint's DLK01 and Static's S-DLK.
+
+   A call blocks its thread until an entry on the peer end serves it.
+   Under [Must], call c1 waits on call c2 only when *every* entry that
+   could serve c1 sits, in c2's own thread, after c2 — a cycle then
+   deadlocks under every interleaving (DLK01).  Under [May], a single
+   such entry suffices: the others may be on a crashed process, serving
+   someone else, or starved by a fault plan, so a cycle is a deadlock
+   some widened schedule can reach (S-DLK). *)
+
+type quantifier = Must | May
+
+let wait_edges t quant =
+  let calls = t.calls in
+  let n = Array.length calls in
+  let edges = Array.make (max n 1) [] in
+  Array.iteri
+    (fun i ci ->
+      let servers = servers t ci in
+      if servers <> [] then
+        Array.iteri
+          (fun j cj ->
+            if i <> j then
+              let blocked (e : entry) =
+                e.e_thread = cj.c_thread && cj.c_pos < e.e_pos
+              in
+              let blocks =
+                match quant with
+                | Must -> List.for_all blocked servers
+                | May -> List.exists blocked servers
+              in
+              if blocks then edges.(i) <- j :: edges.(i))
+          calls)
+    calls;
+  edges
+
+(* Tarjan SCC; a component of size > 1 (or a self-loop) is a cycle. *)
+let cycles edges =
+  let n = Array.length edges in
+  let index = ref 0 in
+  let idx = Array.make (max n 1) (-1) in
+  let low = Array.make (max n 1) 0 in
+  let on_stack = Array.make (max n 1) false in
+  let stack = ref [] in
+  let sccs = ref [] in
+  let rec strong v =
+    idx.(v) <- !index;
+    low.(v) <- !index;
+    incr index;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    List.iter
+      (fun w ->
+        if idx.(w) < 0 then (
+          strong w;
+          low.(v) <- min low.(v) low.(w))
+        else if on_stack.(w) then low.(v) <- min low.(v) idx.(w))
+      edges.(v);
+    if low.(v) = idx.(v) then (
+      let rec pop acc =
+        match !stack with
+        | w :: rest ->
+          stack := rest;
+          on_stack.(w) <- false;
+          if w = v then w :: acc else pop (w :: acc)
+        | [] -> acc
+      in
+      sccs := pop [] :: !sccs)
+  in
+  for v = 0 to n - 1 do
+    if idx.(v) < 0 then strong v
+  done;
+  List.filter
+    (fun scc ->
+      match scc with
+      | [ v ] -> List.mem v edges.(v)
+      | _ :: _ :: _ -> true
+      | [] -> false)
+    (List.rev !sccs)

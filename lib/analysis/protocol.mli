@@ -59,6 +59,11 @@ val threads : t -> string list
 val items_of_thread : t -> string -> item list
 (** [Entry]/[Call] items of one thread, in program order. *)
 
+val item_thread : item -> string option
+(** The thread an item executes on; [None] for the link-lifecycle items
+    ([Move]/[Destroy]/[Retain]), which annotate the graph rather than
+    run anywhere. *)
+
 val item_endpoints : item -> string list
 (** Endpoint names an item mentions. *)
 

@@ -29,7 +29,7 @@ type case = {
 type result = {
   h_case : case;
   h_ok : bool;  (** the scenario's own verdict — informational under faults *)
-  h_violations : Invariant.violation list;
+  h_violations : Run.Invariant.violation list;
   h_detail : string;
   h_events_hash : int64;
   h_faults : (string * int) list;
@@ -90,11 +90,16 @@ let cases ?(scenarios = Driver.scenario_names) ?(backends = Driver.backend_names
    worker (per-domain), every case owns a private engine, and the pool
    preserves input order — the result list, the fingerprint table and
    the summary are identical at every [jobs] count. *)
-let sweep ?(jobs = 1) ?scenarios ?backends ?seeds ?plans () =
+let sweep_full ?(jobs = 1) ?scenarios ?backends ?seeds ?plans () =
   let cs = cases ?scenarios ?backends ?seeds ?plans () in
   Run.execute_many ~jobs (List.map spec cs)
-  |> List.map2 (fun c -> Option.map (of_artifact c)) cs
+  |> List.map2 (fun c -> Option.map (fun a -> (c, a))) cs
   |> List.filter_map Fun.id
+
+let sweep ?jobs ?scenarios ?backends ?seeds ?plans () =
+  List.map
+    (fun (c, a) -> of_artifact c a)
+    (sweep_full ?jobs ?scenarios ?backends ?seeds ?plans ())
 
 let failed r = r.h_violations <> []
 let failures results = List.filter failed results
@@ -113,7 +118,7 @@ let table results =
            r.h_events_hash
            (if failed r then
               String.concat "; "
-                (List.map Invariant.to_string r.h_violations)
+                (List.map Run.Invariant.to_string r.h_violations)
             else "pass")))
     results;
   Buffer.contents buf
@@ -150,7 +155,7 @@ let repro c =
     pr "  ok=%b  detail: %s\n" r.h_ok r.h_detail;
     pr "  events hash %016Lx\n" r.h_events_hash;
     List.iter
-      (fun v -> pr "  VIOLATION %s\n" (Invariant.to_string v))
+      (fun v -> pr "  VIOLATION %s\n" (Run.Invariant.to_string v))
       r.h_violations;
     if r.h_faults <> [] then begin
       pr "  fault counters:\n";

@@ -45,7 +45,7 @@ type case = {
 type result = {
   h_case : case;
   h_ok : bool;  (** the scenario's own verdict — informational under faults *)
-  h_violations : Invariant.violation list;
+  h_violations : Run.Invariant.violation list;
   h_detail : string;
   h_events_hash : int64;
   h_faults : (string * int) list;
@@ -65,6 +65,11 @@ val run_case : case -> result option
 (** [None] when the scenario does not apply to the backend.  A run that
     deadlocks or crashes the engine is reported as a violation, not an
     exception. *)
+
+val of_artifact : case -> Run.Artifact.t -> result
+(** Project a judged artifact down to the chaos result view — lets a
+    caller run {!sweep_full} once and derive both the tables and the
+    artifact-level soundness check from the same runs. *)
 
 val cases :
   ?scenarios:string list ->
@@ -86,6 +91,19 @@ val sweep :
     all plans) minus inapplicable combinations, on the [-j] domain pool.
     Results keep sweep order, so any rendering is identical at every
     [jobs] count. *)
+
+val sweep_full :
+  ?jobs:int ->
+  ?scenarios:string list ->
+  ?backends:string list ->
+  ?seeds:int list ->
+  ?plans:plan_kind list ->
+  unit ->
+  (case * Run.Artifact.t) list
+(** {!sweep}, keeping the underlying artifacts: chaos results drop race
+    findings (a faulted run is judged by the invariant suite), but the
+    soundness cross-check still wants to audit every dynamic race the
+    detector saw under fault widening against the static predictions. *)
 
 val failures : result list -> result list
 

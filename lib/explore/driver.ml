@@ -24,7 +24,7 @@ type case = {
 type result = {
   r_case : case;
   r_ok : bool;
-  r_violations : Invariant.violation list;
+  r_violations : Run.Invariant.violation list;
   r_races : Analysis.Races.finding list;
   r_detail : string;
   r_duration : Time.t;
@@ -85,11 +85,18 @@ let cases ?(scenarios = scenario_names) ?(backends = backend_names)
    byte-identical at every [jobs] count.  Sweep cases skip the legacy
    string trace: nothing downstream of a sweep reads it, and the sweep
    is the hot path the emit-side rendering cost was hurting. *)
-let sweep ?(jobs = 1) ?scenarios ?backends ?seeds ?policies () =
+let sweep_full ?(jobs = 1) ?scenarios ?backends ?seeds ?policies () =
   let cs = cases ?scenarios ?backends ?seeds ?policies () in
   Run.execute_many ~jobs (List.map spec cs)
-  |> List.map2 (fun c -> Option.map (of_artifact c)) cs
+  |> List.map2 (fun c -> Option.map (fun a -> (c, a))) cs
   |> List.filter_map Fun.id
+
+let sweep ?jobs ?scenarios ?backends ?seeds ?policies () =
+  List.map
+    (fun (c, a) -> of_artifact c a)
+    (sweep_full ?jobs ?scenarios ?backends ?seeds ?policies ())
+
+let soundness_gaps pairs = Run.Soundness.check (List.map snd pairs)
 
 let failed r = (not r.r_ok) || r.r_violations <> [] || r.r_races <> []
 let failures results = List.filter failed results
@@ -109,7 +116,7 @@ let repro case =
       (Time.to_string v.Engine.v_now)
       v.Engine.v_trace_count v.Engine.v_trace_hash;
     List.iter
-      (fun viol -> pr "  VIOLATION %s\n" (Invariant.to_string viol))
+      (fun viol -> pr "  VIOLATION %s\n" (Run.Invariant.to_string viol))
       a.Run.Artifact.violations;
     List.iter
       (fun (f : Analysis.Races.finding) ->

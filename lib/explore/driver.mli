@@ -33,7 +33,7 @@ type case = {
 type result = {
   r_case : case;
   r_ok : bool;  (** the scenario's own success verdict *)
-  r_violations : Invariant.violation list;
+  r_violations : Run.Invariant.violation list;
   r_races : Analysis.Races.finding list;
       (** happens-before race findings over the run's event stream *)
   r_detail : string;
@@ -76,6 +76,11 @@ val assess : case -> Harness.Scenarios.outcome -> result
     the hook test fixtures use to feed deliberately broken outcomes
     through the same reporting path. *)
 
+val of_artifact : case -> Run.Artifact.t -> result
+(** Project a judged artifact down to the sweep's result view — lets a
+    caller run {!sweep_full} once and derive both the human tables and
+    the artifact-level soundness check from the same runs. *)
+
 val cases :
   ?scenarios:string list ->
   ?backends:string list ->
@@ -99,6 +104,23 @@ val sweep :
     (default 1) runs cases on a domain pool; every case owns a private
     engine, and results keep sweep order, so the returned list — and
     any report derived from it — is identical at every [jobs] count. *)
+
+val sweep_full :
+  ?jobs:int ->
+  ?scenarios:string list ->
+  ?backends:string list ->
+  ?seeds:int list ->
+  ?policies:policy_kind list ->
+  unit ->
+  (case * Run.Artifact.t) list
+(** {!sweep}, keeping the underlying artifacts — the soundness
+    cross-check and the coverage report read race findings at the
+    artifact level. *)
+
+val soundness_gaps : (case * Run.Artifact.t) list -> Run.Soundness.gap list
+(** {!Run.Soundness.check} over a {!sweep_full} result: dynamic race
+    findings the static prediction set does not contain.  Always empty
+    when both sides are correct; CI fails otherwise. *)
 
 val failures : result list -> result list
 (** Results that violated an invariant, raced, or missed the scenario's

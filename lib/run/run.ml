@@ -10,4 +10,5 @@
 module Spec = Spec
 module Artifact = Artifact
 module Invariant = Invariant
+module Soundness = Soundness
 include Exec

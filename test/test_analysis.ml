@@ -42,7 +42,12 @@ let lint_tests =
           C.all);
     Alcotest.test_case "catalog covers the explore registry" `Quick (fun () ->
         List.iter
-          (fun name -> checkb name true (C.find name <> None))
+          (fun name ->
+            match C.find name with
+            | None -> Alcotest.failf "scenario %s has no catalog protocol" name
+            | Some p ->
+              checks (name ^ " protocol name matches") name p.Pr.p_name;
+              Pr.validate p)
           D.scenario_names);
     Alcotest.test_case "broken fixture reports all three defects" `Quick
       (fun () ->
@@ -167,6 +172,51 @@ let lint_tests =
             ]
         in
         checki "findings" 0 (List.length (L.check p)));
+  ]
+
+(* ---- Protocol structural validation ----------------------------------- *)
+
+let protocol_tests =
+  [
+    Alcotest.test_case "validate: endpoint on two links rejected" `Quick
+      (fun () ->
+        let p = proto ~links:[ ("c.x", "s.x"); ("c.x", "s.y") ] [] in
+        Alcotest.check_raises "duplicate declaration"
+          (Invalid_argument "Protocol mini: endpoint c.x declared twice")
+          (fun () -> Pr.validate p));
+    Alcotest.test_case "validate: undeclared endpoint in an item rejected"
+      `Quick (fun () ->
+        let p =
+          proto
+            [
+              Pr.Call
+                { thread = "c"; endpoint = "q.z"; op = "op"; args = [];
+                  results = [] };
+            ]
+        in
+        Alcotest.check_raises "undeclared use"
+          (Invalid_argument "Protocol mini: item uses undeclared endpoint q.z")
+          (fun () -> Pr.validate p));
+    Alcotest.test_case "validate: undeclared move via rejected" `Quick
+      (fun () ->
+        let p = proto [ Pr.Move { endpoint = "c.x"; via = "ghost" } ] in
+        Alcotest.check_raises "undeclared via"
+          (Invalid_argument
+             "Protocol mini: item uses undeclared endpoint ghost")
+          (fun () -> Pr.validate p));
+    Alcotest.test_case "peer: endpoint in zero links rejected" `Quick
+      (fun () ->
+        Alcotest.check_raises "unknown endpoint"
+          (Invalid_argument "Protocol.peer: unknown endpoint nope") (fun () ->
+            ignore (Pr.peer (proto []) "nope")));
+    Alcotest.test_case "peer: endpoint in two links rejected" `Quick
+      (fun () ->
+        let p = proto ~links:[ ("c.x", "s.x"); ("c.x", "s.y") ] [] in
+        Alcotest.check_raises "ambiguous endpoint"
+          (Invalid_argument "Protocol.peer: endpoint c.x on several links")
+          (fun () -> ignore (Pr.peer p "c.x")));
+    Alcotest.test_case "validate: clean protocol accepted" `Quick (fun () ->
+        Pr.validate (proto [ handler "op"; call "op" [] ]));
   ]
 
 (* ---- Race detector: synthetic event streams --------------------------- *)
@@ -358,6 +408,7 @@ let () =
   Alcotest.run "analysis"
     [
       ("lint", lint_tests);
+      ("protocol", protocol_tests);
       ("races-synthetic", race_synth_tests);
       ("races-clean", races_clean_tests);
       ("trace-compat", trace_compat_tests);

@@ -10,7 +10,7 @@
 
 open Sim
 module D = Explore.Driver
-module I = Explore.Invariant
+module I = Run.Invariant
 module S = Harness.Scenarios
 module BW = Harness.Backend_world
 
