@@ -99,8 +99,8 @@ let scenario_cmd =
     let doc =
       "Scenario name, one of the registry: move (figure 1), enclosures \
        (figure 2), cross-request (§3.2.1), open-close (§3.2.1), \
-       lost-enclosure (§3.2.2), bounced-enclosure, hint-repair (SODA), \
-       pair-pressure (SODA)."
+       lost-enclosure (§3.2.2), bounced-enclosure, shard-rpc (sharded \
+       RPC pairs), hint-repair (SODA), pair-pressure (SODA)."
     in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"SCENARIO" ~doc)
   in
@@ -110,7 +110,16 @@ let scenario_cmd =
       & info [ "k"; "enclosures" ] ~docv:"K"
           ~doc:"Enclosure count for the enclosures scenario.")
   in
-  let run (module W : BW.WORLD) name encl seed =
+  let shards =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"K"
+          ~doc:
+            "Partition the simulation across $(docv) domains \
+             (conservative-window PDES).  The outcome is byte-identical \
+             at every value; only wall-clock time changes.")
+  in
+  let run (module W : BW.WORLD) name encl shards seed =
     let sc =
       match S.find name with
       | Some sc -> sc
@@ -129,7 +138,8 @@ let scenario_cmd =
       if name = "enclosures" then
         S.enclosure_protocol ~seed ~n_encl:encl (module W)
       else
-        S.run sc ~seed ~policy:Sim.Engine.Fifo ~legacy_trace:true (module W)
+        S.run sc ~seed ~policy:Sim.Engine.Fifo ~legacy_trace:true ~shards
+          (module W)
     in
     Printf.printf "%s: %s (%.2f ms simulated)\n" W.name
       (if o.S.o_ok then "ok" else "FAILED")
@@ -143,7 +153,7 @@ let scenario_cmd =
   in
   Cmd.v
     (Cmd.info "scenario" ~doc:"Run one of the paper's qualitative scenarios.")
-    Term.(const run $ backend_arg $ scenario_name $ encl $ seed_arg)
+    Term.(const run $ backend_arg $ scenario_name $ encl $ shards $ seed_arg)
 
 (* ---- jobs flag -------------------------------------------------------- *)
 
@@ -751,7 +761,16 @@ let repro_cmd =
       & opt (some int) None
       & info [ "log-capacity" ] ~docv:"N" ~doc)
   in
-  let run spec_str json log_capacity =
+  let shards_arg =
+    let doc =
+      "Execute with $(docv) domains regardless of the spec's own shard \
+       suffix.  Like $(b,--log-capacity), this must not change the \
+       artifact — the dump stays labeled with the original spec so two \
+       repro runs at different shard counts diff clean."
+    in
+    Arg.(value & opt (some int) None & info [ "shards" ] ~docv:"K" ~doc)
+  in
+  let run spec_str json log_capacity shards =
     let spec =
       match Run.Spec.of_string spec_str with
       | Ok s -> s
@@ -763,6 +782,11 @@ let repro_cmd =
        (the trace is a rendering of the events the hash already covers). *)
     let exec_spec =
       if json then spec else { spec with Run.Spec.legacy_trace = true }
+    in
+    let exec_spec =
+      match shards with
+      | None -> exec_spec
+      | Some k -> { exec_spec with Run.Spec.shards = k }
     in
     match Run.execute_full ?log_capacity exec_spec with
     | None ->
@@ -837,7 +861,7 @@ let repro_cmd =
          "Re-run any spec string from a sweep table, test failure or CI \
           log, and dump its full judged artifact: verdict, invariant \
           violations, races, counters, events hash and trace tail.")
-    Term.(const run $ spec_arg $ json_arg $ log_capacity_arg)
+    Term.(const run $ spec_arg $ json_arg $ log_capacity_arg $ shards_arg)
 
 (* ---- memsmoke: bounded-retention equivalence smoke ------------------------ *)
 

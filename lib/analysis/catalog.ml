@@ -288,6 +288,42 @@ let pair_pressure =
              ]));
   }
 
+(* Shard-RPC: [n] disjoint client/server pairs, one link each, one
+   operation — the PDES-sharded workload.  Deliberately race- and
+   deadlock-free at the protocol level: the point of the scenario is
+   the execution engine (conservative-window sharding), not the
+   communication structure, so the static view must stay alarm-free at
+   every shard count. *)
+let shard_rpc =
+  let n = 4 in
+  let lk i = (Printf.sprintf "client%d.l" i, Printf.sprintf "server%d.l" i) in
+  {
+    p_name = "shard-rpc";
+    p_links = List.init n (fun i -> lk i);
+    p_items =
+      List.concat
+        (List.init n (fun i ->
+             let cl, sv = lk i in
+             [
+               Entry
+                 {
+                   thread = Printf.sprintf "server%d" i;
+                   endpoint = sv;
+                   op = None;
+                   sg = None;
+                   mode = Await;
+                 };
+               Call
+                 {
+                   thread = Printf.sprintf "client%d" i;
+                   endpoint = cl;
+                   op = "rpc";
+                   args = [ Lynx.Ty.Str ];
+                   results = [ Lynx.Ty.Int ];
+                 };
+             ]));
+  }
+
 let all =
   [
     ("move", move);
@@ -296,6 +332,7 @@ let all =
     ("open-close", open_close);
     ("lost-enclosure", lost_enclosure);
     ("bounced-enclosure", bounced_enclosure);
+    ("shard-rpc", shard_rpc);
     ("hint-repair", hint_repair);
     ("pair-pressure", pair_pressure);
   ]

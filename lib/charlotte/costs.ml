@@ -36,3 +36,8 @@ let default =
 
 let transfer_time t ~bytes =
   Sim.Time.add t.msg_fixed (Sim.Time.scale t.per_byte bytes)
+
+(* Minimum latency of any kernel-to-kernel message: an empty transfer.
+   This is the PDES lookahead a sharded run may assume — no Charlotte
+   message crosses nodes faster than the fixed kernel+wire cost. *)
+let lookahead t = t.msg_fixed

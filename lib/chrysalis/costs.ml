@@ -41,3 +41,9 @@ let default =
     copy_local_byte = Sim.Time.ns 250;
     copy_remote_byte = Sim.Time.ns 550;
   }
+
+(* Minimum latency at which one Butterfly node can observe another's
+   action: an event post (the cheapest cross-processor notification).
+   Used as the PDES lookahead for sharded runs — much tighter than the
+   message-passing kernels, matching the shared-memory design point. *)
+let lookahead t = t.event_post

@@ -49,6 +49,7 @@ let spec c =
     seed = c.h_seed;
     policy = Run.Spec.Fifo;
     plan = Some c.h_plan;
+    shards = 1;
     legacy_trace = false;
   }
 

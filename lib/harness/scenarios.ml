@@ -557,6 +557,7 @@ type registered = {
     seed:int ->
     policy:Engine.policy ->
     legacy_trace:bool ->
+    shards:int ->
     backend ->
     outcome;
 }
@@ -573,56 +574,75 @@ let registry =
       sc_name = "move";
       sc_applies_to = every_backend;
       sc_run =
-        (fun ~seed ~policy ~legacy_trace w ->
+        (fun ~seed ~policy ~legacy_trace ~shards:_ w ->
           simultaneous_move ~seed ~policy ~legacy_trace w);
     };
     {
       sc_name = "enclosures";
       sc_applies_to = every_backend;
       sc_run =
-        (fun ~seed ~policy ~legacy_trace w ->
+        (fun ~seed ~policy ~legacy_trace ~shards:_ w ->
           enclosure_protocol ~seed ~policy ~legacy_trace ~n_encl:3 w);
     };
     {
       sc_name = "cross-request";
       sc_applies_to = every_backend;
       sc_run =
-        (fun ~seed ~policy ~legacy_trace w ->
+        (fun ~seed ~policy ~legacy_trace ~shards:_ w ->
           cross_request ~seed ~policy ~legacy_trace w);
     };
     {
       sc_name = "open-close";
       sc_applies_to = every_backend;
       sc_run =
-        (fun ~seed ~policy ~legacy_trace w ->
+        (fun ~seed ~policy ~legacy_trace ~shards:_ w ->
           open_close_race ~seed ~policy ~legacy_trace w);
     };
     {
       sc_name = "lost-enclosure";
       sc_applies_to = every_backend;
       sc_run =
-        (fun ~seed ~policy ~legacy_trace w ->
+        (fun ~seed ~policy ~legacy_trace ~shards:_ w ->
           lost_enclosure ~seed ~policy ~legacy_trace w);
     };
     {
       sc_name = "bounced-enclosure";
       sc_applies_to = every_backend;
       sc_run =
-        (fun ~seed ~policy ~legacy_trace w ->
+        (fun ~seed ~policy ~legacy_trace ~shards:_ w ->
           bounced_enclosure ~seed ~policy ~legacy_trace w);
+    };
+    {
+      sc_name = "shard-rpc";
+      sc_applies_to = every_backend;
+      sc_run =
+        (fun ~seed ~policy ~legacy_trace ~shards w ->
+          (* Priced by the backend's kernel cost table; the engine
+             policy kind is reinterpreted at the shard barriers, so we
+             pass it through unchanged. *)
+          let r = Shard_rpc.run ~seed ~policy ~legacy_trace ~shards w in
+          {
+            o_ok = r.Shard_rpc.r_ok;
+            o_duration = r.Shard_rpc.r_duration;
+            o_counters = r.Shard_rpc.r_counters;
+            o_detail = r.Shard_rpc.r_detail;
+            o_seed = seed;
+            o_policy = Engine.policy_name policy;
+            o_view = r.Shard_rpc.r_view;
+          });
     };
     {
       sc_name = "hint-repair";
       sc_applies_to = soda_only;
       sc_run =
-        (fun ~seed ~policy ~legacy_trace _ ->
+        (fun ~seed ~policy ~legacy_trace ~shards:_ _ ->
           soda_hint_repair ~seed ~policy ~legacy_trace ());
     };
     {
       sc_name = "pair-pressure";
       sc_applies_to = soda_only;
       sc_run =
-        (fun ~seed ~policy ~legacy_trace _ ->
+        (fun ~seed ~policy ~legacy_trace ~shards:_ _ ->
           soda_pair_pressure ~seed ~policy ~legacy_trace ());
     };
   ]
@@ -631,5 +651,5 @@ let names = List.map (fun r -> r.sc_name) registry
 let find name_ = List.find_opt (fun r -> String.equal r.sc_name name_) registry
 let applies r b = r.sc_applies_to b
 
-let run r ~seed ~policy ~legacy_trace b =
-  r.sc_run ~seed ~policy ~legacy_trace b
+let run r ~seed ~policy ~legacy_trace ~shards b =
+  r.sc_run ~seed ~policy ~legacy_trace ~shards b

@@ -125,8 +125,14 @@ type registered = {
     seed:int ->
     policy:Sim.Engine.policy ->
     legacy_trace:bool ->
+    shards:int ->
     backend ->
     outcome;
+      (** [shards] partitions the simulation across domains via
+          {!Sim.Shard}.  Only shard-aware scenarios (["shard-rpc"])
+          actually fan out; the single-engine vignettes ignore it —
+          either way the outcome is byte-identical at every value, so
+          the axis never changes a verdict. *)
 }
 
 val registry : registered list
@@ -141,5 +147,6 @@ val run :
   seed:int ->
   policy:Sim.Engine.policy ->
   legacy_trace:bool ->
+  shards:int ->
   backend ->
   outcome

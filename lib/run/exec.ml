@@ -23,7 +23,8 @@ let run_outcome (spec : Spec.t) =
       Some
         (S.run sc ~seed:spec.Spec.seed
            ~policy:(Spec.engine_policy spec.Spec.policy ~seed:spec.Spec.seed)
-           ~legacy_trace:spec.Spec.legacy_trace backend)
+           ~legacy_trace:spec.Spec.legacy_trace ~shards:spec.Spec.shards
+           backend)
     in
     match spec.Spec.plan with
     | None -> run ()

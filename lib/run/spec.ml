@@ -64,18 +64,22 @@ type t = {
   seed : int;
   policy : policy;
   plan : plan option;
+  shards : int;
   legacy_trace : bool;
 }
 
-let v ?(policy = Fifo) ?plan ?(legacy_trace = false) ~scenario ~backend seed =
-  { scenario; backend; seed; policy; plan; legacy_trace }
+let v ?(policy = Fifo) ?plan ?(shards = 1) ?(legacy_trace = false) ~scenario
+    ~backend seed =
+  if shards < 1 then invalid_arg "Spec.v: shards must be at least 1";
+  { scenario; backend; seed; policy; plan; shards; legacy_trace }
 
 let trace_suffix = "~trace"
 
 let to_string s =
-  Printf.sprintf "%s/%s/%d/%s%s%s" s.scenario s.backend s.seed
+  Printf.sprintf "%s/%s/%d/%s%s%s%s" s.scenario s.backend s.seed
     (policy_name s.policy)
     (match s.plan with None -> "" | Some p -> "@" ^ plan_name p)
+    (if s.shards = 1 then "" else Printf.sprintf "~s%d" s.shards)
     (if s.legacy_trace then trace_suffix else "")
 
 let of_string str =
@@ -93,8 +97,28 @@ let of_string str =
             true )
         else (tail, false)
       in
+      (* The shard suffix sits between the plan and [~trace]:
+         policy[@plan][~sK][~trace]. *)
+      let shards_err = ref None in
+      let tail, shards =
+        match String.rindex_opt tail '~' with
+        | Some i
+          when i + 1 < String.length tail
+               && tail.[i + 1] = 's' -> begin
+          let num = String.sub tail (i + 2) (String.length tail - i - 2) in
+          match int_of_string_opt num with
+          | Some k when k >= 1 -> (String.sub tail 0 i, k)
+          | _ ->
+            shards_err := Some (Printf.sprintf "bad shard count %S" num);
+            (tail, 1)
+        end
+        | _ -> (tail, 1)
+      in
       let finish policy plan =
-        Ok { scenario; backend; seed; policy; plan; legacy_trace }
+        match !shards_err with
+        | Some m -> err "%s in %S" m str
+        | None ->
+          Ok { scenario; backend; seed; policy; plan; shards; legacy_trace }
       in
       begin
         match String.index_opt tail '@' with

@@ -7,7 +7,7 @@
     ambient fault plan.  A [Spec.t] names that run completely, and its
     canonical string form
 
-    {v scenario/backend/seed/policy[@plan][~trace] v}
+    {v scenario/backend/seed/policy[@plan][~sK][~trace] v}
 
     is the repro handle: any spec printed in a CLI table, CI log or
     test failure can be parsed back with {!of_string} and re-executed
@@ -55,6 +55,13 @@ type t = {
   seed : int;
   policy : policy;
   plan : plan option;  (** [None]: clean run, no ambient plan *)
+  shards : int;
+      (** domains the simulation is partitioned across (default 1:
+          ordinary single-engine run).  Sharded execution is
+          byte-identical to [shards = 1] — the conservative-window
+          engine ({!Sim.Shard}) guarantees it — so the axis changes
+          wall-clock, never verdicts or fingerprints.  Printed as a
+          [~sK] suffix, omitted when 1. *)
   legacy_trace : bool;
       (** render the legacy string trace during the run (repro dumps
           want it; batch sweeps skip it on the emit hot path).  Does
@@ -64,15 +71,17 @@ type t = {
 val v :
   ?policy:policy ->
   ?plan:plan ->
+  ?shards:int ->
   ?legacy_trace:bool ->
   scenario:string ->
   backend:string ->
   int ->
   t
-(** [v ~scenario ~backend seed] with [Fifo], no plan, no legacy trace. *)
+(** [v ~scenario ~backend seed] with [Fifo], no plan, one shard, no
+    legacy trace.  Raises [Invalid_argument] if [shards < 1]. *)
 
 val to_string : t -> string
-(** The canonical ["scenario/backend/seed/policy[@plan][~trace]"]. *)
+(** The canonical ["scenario/backend/seed/policy[@plan][~sK][~trace]"]. *)
 
 val of_string : string -> (t, string) result
 (** Inverse of {!to_string}: [of_string (to_string s) = Ok s] for every

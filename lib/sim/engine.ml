@@ -135,6 +135,16 @@ let with_observer ?log_capacity ~attach f =
     (Some { ob_log_capacity = log_capacity; ob_attach = attach });
   Fun.protect ~finally:(fun () -> Domain.DLS.set ambient_observer saved) f
 
+(* The shard coordinator attaches the ambient observer to its merge
+   sink only: per-shard engines run on worker domains, where an
+   attached consumer would race with the observer's single-threaded
+   state.  Their events reach the observer through the sink at the
+   window barriers instead. *)
+let without_observer f =
+  let saved = Domain.DLS.get ambient_observer in
+  Domain.DLS.set ambient_observer None;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set ambient_observer saved) f
+
 let now t = t.now
 let rng t = t.root_rng
 let policy t = t.policy
@@ -144,6 +154,8 @@ let trace t = t.trace_buf
    the ambient clock restored by the drain loop in scheduler context. *)
 let current_clock t =
   match t.current with Some f -> f.clock | None -> t.amb_clock
+
+let clock = current_clock
 
 let grow_events t ~cap_limit =
   let cap = Array.length t.ev_arr in
@@ -216,6 +228,31 @@ let emit t kind =
     | None -> ()
 
 let record t msg = emit t (Event.Note msg)
+
+(* Re-admit an event that another engine already emitted: fold the
+   fingerprint with the event's own (time, fiber, tag) — the same fold
+   [emit] applies — feed the consumers, retain per the capacity policy
+   and advance the clock to its timestamp.  This is how the shard
+   coordinator materialises the canonical merged stream: the sink
+   engine never schedules anything, it only absorbs, so its
+   [events]/[events_hash]/consumer surface is exactly that of a
+   single-engine run emitting the same sequence. *)
+let absorb t (ev : Event.t) =
+  if Time.(ev.Event.ev_time > t.now) then t.now <- ev.Event.ev_time;
+  t.events_total <- t.events_total + 1;
+  retain t ev;
+  let fold h i = (h lxor i) * 0x100000001B3 in
+  t.events_hash <-
+    fold
+      (fold (fold t.events_hash (Time.to_ns ev.Event.ev_time)) ev.Event.ev_fiber)
+      (Event.kind_tag ev.Event.ev_kind);
+  (match t.consumers with
+  | [] -> ()
+  | cs -> List.iter (fun f -> f ev) cs);
+  if t.legacy_trace then
+    match Event.legacy_render ev with
+    | Some msg -> Trace.record t.trace_buf ev.Event.ev_time msg
+    | None -> ()
 
 (* Append mode trims to fit, then shares: the first call after a run
    replaces the backing array with a fresh copy of the live prefix
@@ -290,6 +327,19 @@ let schedule_at t time task =
 
 let schedule_after t delay task = enqueue t (Time.add t.now delay) task
 
+(* Cross-engine hand-off: the task carries the sender's clock (captured
+   on another shard) instead of this engine's ambient one, and bypasses
+   the scheduling policy — shard sub-engines always run Fifo; schedule
+   exploration is applied by the coordinator at the window barriers,
+   where cross-shard nondeterminism actually lives. *)
+let inject t ~time ~clk task =
+  if Time.(time < t.now) then invalid_arg "Engine.inject: time is in the past";
+  let seq = t.seq in
+  t.seq <- seq + 1;
+  Taskq.add t.tasks ~time:(Time.to_ns time) ~seq ~clk task
+
+let next_task_time t = Option.map Time.ns (Taskq.peek_time t.tasks)
+
 let fiber_name f = f.name
 let fiber_id f = f.fid
 let fiber_alive f = match f.state with Finished | Crashed -> false | _ -> true
@@ -344,9 +394,23 @@ let effc : type b. t -> fiber -> b Effect.t -> ((b, unit) Effect.Deep.continuati
             t.current <- prev))
   | _ -> None
 
-let spawn t ?(name = "fiber") ?(daemon = false) f =
-  let fid = t.next_fid in
-  t.next_fid <- fid + 1;
+(* [?fid] pins the fiber id explicitly.  Sharded runs need ids that are
+   stable across partitionings — fiber N is node N on every shard
+   count — so the per-engine [next_fid] counter cannot assign them. *)
+let spawn t ?fid ?(name = "fiber") ?(daemon = false) f =
+  let fid =
+    match fid with
+    | Some fid ->
+      if fid < 0 then invalid_arg "Engine.spawn: negative fid";
+      if List.exists (fun f -> f.fid = fid) t.fibers then
+        invalid_arg (Printf.sprintf "Engine.spawn: fid %d already used" fid);
+      t.next_fid <- max t.next_fid (fid + 1);
+      fid
+    | None ->
+      let fid = t.next_fid in
+      t.next_fid <- fid + 1;
+      fid
+  in
   emit t (Event.Spawn { fid; name });
   (* The child starts causally after the spawn event in its parent. *)
   let fiber =

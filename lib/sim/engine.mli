@@ -82,10 +82,25 @@ val with_observer :
     engines that scenarios create internally.  Nesting shadows; the
     previous observer is restored on exit. *)
 
+val without_observer : (unit -> 'a) -> 'a
+(** Runs [f] with no ambient observer, restoring the previous one on
+    exit.  The shard coordinator creates its per-shard engines inside
+    this scope: those engines drain on worker domains, where an
+    observer-attached consumer would race with the observer's
+    single-threaded state.  The coordinator's merge sink (created
+    {e outside} the scope) carries the observer instead, so streaming
+    analyses see the canonical merged stream exactly once. *)
+
 val now : t -> Time.t
 val rng : t -> Rng.t
 val policy : t -> policy
 val trace : t -> Trace.t
+
+val clock : t -> Vclock.t
+(** The clock of whoever is acting right now: the running fiber's, or
+    the ambient clock in scheduler context — the snapshot {!stamp}
+    would record.  Shard senders capture it to stamp messages that
+    cross to another engine. *)
 
 val record : t -> string -> unit
 (** Records a free-form trace note at the current virtual time (a
@@ -107,6 +122,17 @@ val emit : t -> Event.kind -> unit
     context the ambient clock is snapshotted unticked.  Legacy kinds
     ([Spawn]/[Crash]/[Note]) are also rendered into the string trace;
     the new kinds are not, so the legacy stream is unperturbed. *)
+
+val absorb : t -> Event.t -> unit
+(** Re-admits an event emitted by {e another} engine, verbatim: folds
+    {!events_hash} with the event's own time, fiber id and kind tag
+    (the same fold {!emit} applies), feeds the consumers, retains per
+    the capacity policy, renders legacy kinds when the engine keeps a
+    legacy trace, and advances {!now} to the event's timestamp.  The
+    shard coordinator absorbs the canonically merged per-shard streams
+    into a sink engine at each window barrier, so the sink's event
+    surface is byte-identical to a single-engine run emitting the same
+    sequence. *)
 
 val events : t -> Event.t array
 (** The retained structured events, oldest first.
@@ -161,11 +187,28 @@ val schedule_at : t -> Time.t -> (unit -> unit) -> unit
 
 val schedule_after : t -> Time.t -> (unit -> unit) -> unit
 
-val spawn : t -> ?name:string -> ?daemon:bool -> (unit -> unit) -> fiber
+val inject : t -> time:Time.t -> clk:Vclock.t -> (unit -> unit) -> unit
+(** Like {!schedule_at}, but the task carries the given clock instead
+    of the enqueuer's, and always takes the Fifo path regardless of the
+    engine policy.  This is the cross-shard delivery hand-off: the
+    coordinator injects a message's delivery task with the sender's
+    clock captured on another shard, so the happens-before edge crosses
+    engines; ordering among simultaneous deliveries is the
+    coordinator's responsibility (it injects in canonical order). *)
+
+val next_task_time : t -> Time.t option
+(** Timestamp of the earliest queued task, if any — what the shard
+    coordinator uses to skip empty lookahead windows. *)
+
+val spawn : t -> ?fid:int -> ?name:string -> ?daemon:bool -> (unit -> unit) -> fiber
 (** Starts a fiber at the current virtual time.  [daemon] fibers (default
     false) are expected to outlive the simulation and are excluded from
     quiescence accounting.  Each spawn is assigned the next fiber id and
-    recorded in the trace as ["spawn #<id> <name>"]. *)
+    recorded in the trace as ["spawn #<id> <name>"].  [?fid] pins the id
+    explicitly (raising [Invalid_argument] on a negative or already-used
+    id, and bumping the internal counter past it): sharded runs assign
+    fiber ids globally — fiber [n] is node [n] at every shard count — so
+    the per-engine counter cannot be the allocator. *)
 
 val fiber_name : fiber -> string
 

@@ -17,6 +17,14 @@ let split t =
   let child_seed = next_int64 t in
   { state = mix child_seed }
 
+(* Pure keyed derivation: child [i] depends only on the parent's
+   current state and [i], and the parent does not advance.  [split]
+   cannot give per-node streams that survive re-partitioning (the
+   number of splits would depend on the partition), so sharded runs key
+   every node's stream by its global id instead. *)
+let derive t i =
+  { state = mix (Int64.add t.state (Int64.mul golden (Int64.of_int (i + 1)))) }
+
 (* Draws are 62-bit ([0, 2^62)); plain [r mod bound] would favour small
    residues whenever bound does not divide 2^62, so draws past the last
    full multiple of [bound] are rejected and retried.  [max_int] is

@@ -12,6 +12,14 @@ val create : int -> t
 val split : t -> t
 (** Derives an independent child generator; the parent advances once. *)
 
+val derive : t -> int -> t
+(** [derive t i] is an independent child stream keyed by [i]; the
+    parent does {e not} advance, and the same [(t state, i)] always
+    yields the same stream.  Use this instead of {!split} when child
+    identity must survive re-partitioning — e.g. per-node streams in a
+    sharded run, where the number of [split] calls per shard would
+    depend on the shard count. *)
+
 val next_int64 : t -> int64
 val int : t -> int -> int
 (** [int t bound] is uniform in [\[0, bound)] — exactly uniform, via

@@ -47,3 +47,8 @@ let default =
   }
 
 let transfer_time t ~bytes = Sim.Time.scale t.per_byte bytes
+
+(* Minimum cross-node latency: one request leg with no data — no SODA
+   interaction reaches another kernel faster than a single [op_fixed].
+   Used as the PDES lookahead for sharded runs. *)
+let lookahead t = t.op_fixed

@@ -18,8 +18,9 @@ module BW = Harness.Backend_world
 
 (* ---- spec round-trip ------------------------------------------------- *)
 
-let spec_of_tuple (scenario, backend, seed, policy, plan, legacy_trace) =
-  { Spec.scenario; backend; seed; policy; plan; legacy_trace }
+let spec_of_tuple (scenario, backend, seed, policy, plan, shards, legacy_trace)
+    =
+  { Spec.scenario; backend; seed; policy; plan; shards; legacy_trace }
 
 let spec_arb =
   let open QCheck in
@@ -34,13 +35,14 @@ let spec_arb =
     ~print:(fun t -> Spec.to_string (spec_of_tuple t))
     Gen.(
       map
-        (fun (scenario, backend, seed, policy, plan, legacy_trace) ->
-          (scenario, backend, seed, policy, plan, legacy_trace))
-        (tup6 name_gen
+        (fun (scenario, backend, seed, policy, plan, shards, legacy_trace) ->
+          (scenario, backend, seed, policy, plan, shards, legacy_trace))
+        (tup7 name_gen
            (oneof [ oneofl BW.names; name_gen ])
            small_signed_int
            (oneofl Spec.all_policies)
            (oneofl (None :: List.map Option.some (Spec.Screen :: Spec.all_plans)))
+           (oneofl [ 1; 1; 2; 4; 8 ])
            bool))
 
 let test_roundtrip =
@@ -111,6 +113,7 @@ let test_registry () =
       "open-close";
       "lost-enclosure";
       "bounced-enclosure";
+      "shard-rpc";
       "hint-repair";
       "pair-pressure";
     ]
@@ -240,7 +243,9 @@ let golden_explore_summary =
    open-close           fifo          6      0\n\
    open-close           random        6      0\n\
    pair-pressure        fifo          2      0\n\
-   pair-pressure        random        2      0\n"
+   pair-pressure        random        2      0\n\
+   shard-rpc            fifo          6      0\n\
+   shard-rpc            random        6      0\n"
 
 let golden_chaos_table =
   "case                                     ok     events             verdict\n\
@@ -271,6 +276,7 @@ let golden_races_charlotte =
    open-close           clean\n\
    lost-enclosure       clean\n\
    bounced-enclosure    clean\n\
+   shard-rpc            clean\n\
    hint-repair          n/a on charlotte\n\
    pair-pressure        n/a on charlotte\n"
 
@@ -281,6 +287,7 @@ let golden_races_soda =
    open-close           clean\n\
    lost-enclosure       clean\n\
    bounced-enclosure    clean\n\
+   shard-rpc            clean\n\
    hint-repair          clean\n\
    pair-pressure        clean\n"
 

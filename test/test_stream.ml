@@ -392,6 +392,7 @@ let spec_arb =
             seed;
             policy;
             plan;
+            shards = 1;
             legacy_trace = false;
           })
         (tup5 (oneofl S.names) (oneofl primaries) (int_range 1 6)
