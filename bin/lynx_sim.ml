@@ -366,8 +366,11 @@ let chaos_cmd =
   let plans =
     let doc =
       "Fault plan to inject (drop, duplicate, delay, crash-restart, \
-       partition, mix; also screen = no faults, screening armed); \
-       repeatable.  Default: every fault-injecting plan."
+       partition, mix; also screen = no faults, screening armed; and \
+       the targeted plans leader-crash, partition-minority, \
+       partition-majority, which aim at the fault-tolerant scenarios' \
+       topologies and are judged by the recovery deadline); \
+       repeatable.  Default: every generic fault-injecting plan."
     in
     Arg.(value & opt_all plan_conv [] & info [ "plan" ] ~docv:"PLAN" ~doc)
   in
@@ -427,7 +430,11 @@ let chaos_cmd =
        ~doc:
          "Sweep scenarios x backends x seeds x fault plans — message \
           drop/duplicate/delay, crash-restart, partition — with LYNX \
-          retry/timeout screening armed, and check every invariant.")
+          retry/timeout screening armed, and check every invariant.  \
+          Fault-tolerant scenarios are additionally judged for \
+          liveness: after the last fault window closes they must \
+          recover within their declared deadline, and a miss fails \
+          the sweep like an invariant violation.")
     Term.(
       const run $ seeds $ one_seed $ plans $ scenario_filter
       $ backend_filter $ jobs_arg $ json_arg)

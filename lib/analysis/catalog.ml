@@ -223,6 +223,126 @@ let bounced_enclosure =
       ];
   }
 
+(* Ring leader election (Chang–Roberts with chord shortcuts).  Four
+   candidates sit on a ring with two chords; a monitor kicks elections
+   best-candidate-first and polls for a self-confessed leader.  The
+   load-bearing structural property is that each candidate funnels all
+   its outbound forwards through one relay thread, so every link end
+   has a single program-ordered sender and the protocol has zero S-MSG
+   predictions by construction — the dynamic sweep's race-freedom
+   under every fault plan rests on exactly this.  Handlers never call,
+   so the May wait-for graph is trivially acyclic (no S-DLK even when
+   fault plans crash alternate servers). *)
+let ring_election =
+  let cand = [| "n0"; "n1"; "n2"; "leader" |] in
+  let n = Array.length cand in
+  let ep who link = Printf.sprintf "%s.%s" who link in
+  (* rg<i> joins cand i to its successor; ch<j> joins cand j to the
+     candidate two hops on (the chord fallback around one dead node);
+     m<i> joins the monitor to cand i. *)
+  let ring i = Printf.sprintf "rg%d" i in
+  let chord i = Printf.sprintf "ch%d" (i mod 2) in
+  let mon i = Printf.sprintf "m%d" i in
+  let wave_sg = ty ~results:[ Lynx.Ty.Str ] [ Lynx.Ty.Int; Lynx.Ty.Int ] in
+  let serve who link op =
+    Entry
+      { thread = who; endpoint = ep who link; op = Some op;
+        sg = Some wave_sg; mode = Handler }
+  in
+  let forward who link op =
+    Call
+      { thread = who ^ ".relay"; endpoint = ep who link; op;
+        args = [ Lynx.Ty.Int; Lynx.Ty.Int ];
+        results = [ Lynx.Ty.Str ] }
+  in
+  {
+    p_name = "ring-election";
+    p_links =
+      List.init n (fun i ->
+          (ep cand.(i) (ring i), ep cand.((i + 1) mod n) (ring i)))
+      @ List.init (n / 2) (fun i ->
+            (ep cand.(i) (chord i), ep cand.(i + 2) (chord i)))
+      @ List.init n (fun i -> (ep "mon" (mon i), ep cand.(i) (mon i)));
+    p_items =
+      (* Candidate i: serve election traffic arriving on its
+         predecessor-ring and chord ends, serve the monitor's
+         kick/probe, and forward (relay thread) on its successor-ring
+         and chord ends. *)
+      List.concat
+        (List.init n (fun i ->
+             let me = cand.(i) in
+             let pred = ring ((i + n - 1) mod n) in
+             [
+               serve me pred "elect";
+               serve me pred "coord";
+               serve me (chord i) "elect";
+               serve me (chord i) "coord";
+               Entry
+                 { thread = me; endpoint = ep me (mon i); op = Some "start";
+                   sg = Some (ty ~results:[ Lynx.Ty.Str ] [ Lynx.Ty.Int ]);
+                   mode = Handler };
+               Entry
+                 { thread = me; endpoint = ep me (mon i); op = Some "ping";
+                   sg = Some (ty ~results:[ Lynx.Ty.Int ] []);
+                   mode = Handler };
+               forward me (ring i) "elect";
+               forward me (ring i) "coord";
+               forward me (chord i) "elect";
+               forward me (chord i) "coord";
+             ]))
+      (* Monitor: kick candidates best-first (fresh epoch each), then
+         poll everyone for a leader.  One thread, so its sends are
+         program-ordered. *)
+      @ List.init n (fun i ->
+            Call
+              { thread = "mon"; endpoint = ep "mon" (mon (n - 1 - i));
+                op = "start"; args = [ Lynx.Ty.Int ];
+                results = [ Lynx.Ty.Str ] })
+      @ List.init n (fun i ->
+            Call
+              { thread = "mon"; endpoint = ep "mon" (mon i); op = "ping";
+                args = []; results = [ Lynx.Ty.Int ] });
+  }
+
+(* Majority-quorum replicated counter: one writer offers each write to
+   all five replicas and commits on a majority of acks; reads also go
+   to a quorum.  All client traffic lives in the single writer thread
+   (program-ordered, zero S-MSG); replicas only serve, so no wait-for
+   cycle exists for a fault plan to widen. *)
+let quorum =
+  let n = 5 in
+  let lk k = (Printf.sprintf "writer.w%d" k, Printf.sprintf "r%d.w%d" k k) in
+  let write_sg = ty ~results:[ Lynx.Ty.Int ] [ Lynx.Ty.Int; Lynx.Ty.Int ] in
+  let read_sg = ty ~results:[ Lynx.Ty.Int; Lynx.Ty.Int ] [] in
+  {
+    p_name = "quorum";
+    p_links = List.init n (fun k -> lk (k + 1));
+    p_items =
+      List.concat
+        (List.init n (fun k ->
+             let _, sv = lk (k + 1) in
+             let r = Printf.sprintf "r%d" (k + 1) in
+             [
+               Entry
+                 { thread = r; endpoint = sv; op = Some "write";
+                   sg = Some write_sg; mode = Handler };
+               Entry
+                 { thread = r; endpoint = sv; op = Some "read";
+                   sg = Some read_sg; mode = Handler };
+             ]))
+      @ List.init n (fun k ->
+            let cl, _ = lk (k + 1) in
+            Call
+              { thread = "writer"; endpoint = cl; op = "write";
+                args = [ Lynx.Ty.Int; Lynx.Ty.Int ];
+                results = [ Lynx.Ty.Int ] })
+      @ List.init n (fun k ->
+            let cl, _ = lk (k + 1) in
+            Call
+              { thread = "writer"; endpoint = cl; op = "read"; args = [];
+                results = [ Lynx.Ty.Int; Lynx.Ty.Int ] });
+  }
+
 (* SODA hint repair: A moves its end of the D-A link to B and dies; D
    pings the moved end once its cached hint is doubly stale. *)
 let hint_repair =
@@ -333,6 +453,8 @@ let all =
     ("lost-enclosure", lost_enclosure);
     ("bounced-enclosure", bounced_enclosure);
     ("shard-rpc", shard_rpc);
+    ("ring-election", ring_election);
+    ("quorum", quorum);
     ("hint-repair", hint_repair);
     ("pair-pressure", pair_pressure);
   ]

@@ -15,7 +15,17 @@ let pp_finding ppf f = Fmt.pf ppf "%s %s: %s" f.r_rule f.r_obj f.r_detail
      pairwise over sends, so every send's clock can still race a future
      send; the pair count and the earliest racing pair are folded at
      arrival, so concluding the rule is O(1).  R-MOVE reads the same
-     list.
+     list.  Unordered sends — retransmissions under an already-used
+     correlation id (a screened caller's retry, the dedup cache
+     re-answering a duplicate) and reply sends, whose delivery is
+     routed by correlation id rather than arrival order — are retained
+     for R-MOVE's positional bookkeeping but excluded from R-MSG pairs
+     on both sides.  A retransmission duplicates a send that was
+     already folded, so any genuine application race is witnessed by
+     the original; reply arrival order cannot change behaviour at all.
+     This mirrors the static side exactly: S-MSG predicts over the
+     protocol's Call items (request sends), so a reply-queue pair could
+     never sit inside the prediction set the soundness gate checks.
    - Queued signals, waits and seens are FIFO-matched by position
      against final consumption counts, which lets consumed prefixes be
      pruned the moment the matching seen/wake arrives: a signal whose
@@ -28,8 +38,8 @@ let pp_finding ppf f = Fmt.pf ppf "%s %s: %s" f.r_rule f.r_obj f.r_detail
      counters.  The high-volume kinds (Block/Note/Spawn/...) are never
      retained at all. *)
 type obj_state = {
-  mutable os_sends : (int * int * string * Vclock.t) list;
-      (* send index, fiber, op, clock — newest first *)
+  mutable os_sends : (int * int * string * Vclock.t * bool) list;
+      (* send index, fiber, op, clock, unordered — newest first *)
   mutable os_n_sends : int;
   mutable os_n_recvs : int;
   (* R-MSG aggregation, folded at send arrival. *)
@@ -86,31 +96,33 @@ let feed st (ev : Event.t) =
   st.st_pos <- pos + 1;
   let fid = ev.Event.ev_fiber and clk = ev.Event.ev_clock in
   match ev.Event.ev_kind with
-  | Event.Send { obj; op } ->
+  | Event.Send { obj; op; unordered } ->
     let s = slot st obj in
     let idx = s.os_n_sends in
     s.os_n_sends <- idx + 1;
     (* Fold R-MSG at arrival: count concurrent predecessors, and track
        the pair with the lowest earlier-send index — replaying the old
        ascending (i, j) double loop, whose first hit is exactly the
-       minimal (i, j) in lexicographic order. *)
+       minimal (i, j) in lexicographic order.  Unordered sends take no
+       part, as either side of a pair. *)
     let min_i = ref (-1) and min_f = ref 0 and min_op = ref "" in
-    List.iter
-      (fun (i, fi, opi, ci) ->
-        if Vclock.concurrent ci clk then begin
-          s.os_pairs <- s.os_pairs + 1;
-          if !min_i < 0 || i < !min_i then begin
-            min_i := i;
-            min_f := fi;
-            min_op := opi
-          end
-        end)
-      s.os_sends;
+    if not unordered then
+      List.iter
+        (fun (i, fi, opi, ci, unordered_i) ->
+          if (not unordered_i) && Vclock.concurrent ci clk then begin
+            s.os_pairs <- s.os_pairs + 1;
+            if !min_i < 0 || i < !min_i then begin
+              min_i := i;
+              min_f := fi;
+              min_op := opi
+            end
+          end)
+        s.os_sends;
     (if !min_i >= 0 then
        match s.os_first with
        | Some (i0, _, _, _, _) when i0 <= !min_i -> ()
        | _ -> s.os_first <- Some (!min_i, !min_f, !min_op, fid, op));
-    s.os_sends <- (idx, fid, op, clk) :: s.os_sends
+    s.os_sends <- (idx, fid, op, clk, unordered) :: s.os_sends
   | Event.Receive { obj; _ } ->
     let s = slot st obj in
     s.os_n_recvs <- s.os_n_recvs + 1
@@ -302,7 +314,7 @@ let move_races tbl objs =
             let qs = Hashtbl.find tbl qobj in
             let rec scan_sends = function
               | [] -> None
-              | (si, sfid, op, sclk) :: rest ->
+              | (si, sfid, op, sclk, _retx) :: rest ->
                 if si < qs.os_n_recvs then scan_sends rest
                   (* consumed: delivery won *)
                 else (

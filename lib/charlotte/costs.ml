@@ -41,3 +41,9 @@ let transfer_time t ~bytes =
    This is the PDES lookahead a sharded run may assume — no Charlotte
    message crosses nodes faster than the fixed kernel+wire cost. *)
 let lookahead t = t.msg_fixed
+
+(* Nominal round trip of a simple remote operation — the paper's 55 ms
+   calibration point (two kernel calls, two transfers).  The runtime
+   uses it to floor screening timeouts: a reply timeout below the
+   transport's own round trip can only misfire. *)
+let rpc_rtt t = Sim.Time.scale (Sim.Time.add t.call_cpu t.msg_fixed) 2

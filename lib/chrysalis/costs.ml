@@ -47,3 +47,7 @@ let default =
    Used as the PDES lookahead for sharded runs — much tighter than the
    message-passing kernels, matching the shared-memory design point. *)
 let lookahead t = t.event_post
+
+(* Nominal round trip of a simple remote operation (§5.3: ~2.4 ms on
+   the untuned runtime).  Floors the runtime's screening timeouts. *)
+let rpc_rtt _ = Sim.Time.of_ms_float 2.4

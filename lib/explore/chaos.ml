@@ -13,6 +13,9 @@ type plan_kind = Run.Spec.plan =
   | Crash_restart
   | Partition
   | Mix
+  | Leader_crash
+  | Partition_minority
+  | Partition_majority
 
 let all_plans = Run.Spec.all_plans
 let plan_kind_name = Run.Spec.plan_name
@@ -30,10 +33,11 @@ type result = {
   h_case : case;
   h_ok : bool;  (** the scenario's own verdict — informational under faults *)
   h_violations : Run.Invariant.violation list;
+  h_liveness : Run.Liveness.verdict;
   h_detail : string;
   h_events_hash : int64;
   h_faults : (string * int) list;
-      (** injected-fault and screening counters for the run *)
+      (** injected-fault, screening and recovery counters for the run *)
 }
 
 (* The historical chaos handle keeps the plan in the policy position;
@@ -53,23 +57,15 @@ let spec c =
     legacy_trace = false;
   }
 
-let fault_counter_prefixes =
-  [ "faults."; "lynx.call_"; "lynx.dup_"; "lynx.bodies_screened" ]
-
-let fault_counters counters =
-  List.filter
-    (fun (k, _) ->
-      List.exists (fun p -> String.starts_with ~prefix:p k) fault_counter_prefixes)
-    counters
-
 let of_artifact c (a : Run.Artifact.t) =
   {
     h_case = c;
     h_ok = a.Run.Artifact.ok;
     h_violations = a.Run.Artifact.violations;
+    h_liveness = a.Run.Artifact.liveness;
     h_detail = a.Run.Artifact.detail;
     h_events_hash = a.Run.Artifact.events_hash;
-    h_faults = fault_counters a.Run.Artifact.counters;
+    h_faults = Run.Artifact.fault_counters a;
   }
 
 let run_case c = Option.map (of_artifact c) (Run.execute (spec c))
@@ -102,25 +98,38 @@ let sweep ?jobs ?scenarios ?backends ?seeds ?plans () =
     (fun (c, a) -> of_artifact c a)
     (sweep_full ?jobs ?scenarios ?backends ?seeds ?plans ())
 
-let failed r = r.h_violations <> []
+(* A chaos case fails on a safety breach (invariant violation) or a
+   liveness breach (a fault-tolerant scenario that did not recover
+   within its deadline after the fault window closed) — same criterion
+   as [Run.Artifact.anomalous]. *)
+let failed r = r.h_violations <> [] || Run.Liveness.missed r.h_liveness
 let failures results = List.filter failed results
 
-(* The determinism fingerprint: one line per case with the verdict and
-   the event-stream hash.  Two runs of the same sweep — at any [-j] —
-   must render byte-identical tables. *)
+(* The determinism fingerprint: one line per case with the verdict, the
+   liveness cell and the event-stream hash.  Two runs of the same sweep
+   — at any [-j] — must render byte-identical tables. *)
 let table results =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf
-    (Printf.sprintf "%-40s %-6s %-18s %s\n" "case" "ok" "events" "verdict");
+    (Printf.sprintf "%-40s %-6s %-18s %-14s %s\n" "case" "ok" "events"
+       "liveness" "verdict");
   List.iter
     (fun r ->
+      let verdict =
+        if failed r then
+          String.concat "; "
+            (List.map Run.Invariant.to_string r.h_violations
+            @
+            match r.h_liveness with
+            | Run.Liveness.Missed why -> [ "liveness missed: " ^ why ]
+            | _ -> [])
+        else "pass"
+      in
       Buffer.add_string buf
-        (Printf.sprintf "%-40s %-6b %016Lx  %s\n" (case_name r.h_case) r.h_ok
-           r.h_events_hash
-           (if failed r then
-              String.concat "; "
-                (List.map Run.Invariant.to_string r.h_violations)
-            else "pass")))
+        (Printf.sprintf "%-40s %-6b %016Lx  %-14s %s\n" (case_name r.h_case)
+           r.h_ok r.h_events_hash
+           (Run.Liveness.to_cell r.h_liveness)
+           verdict))
     results;
   Buffer.contents buf
 
@@ -155,6 +164,9 @@ let repro c =
   | Some r ->
     pr "  ok=%b  detail: %s\n" r.h_ok r.h_detail;
     pr "  events hash %016Lx\n" r.h_events_hash;
+    (match r.h_liveness with
+    | Run.Liveness.Vacuous -> ()
+    | v -> pr "  liveness: %s\n" (Run.Liveness.to_string v));
     List.iter
       (fun v -> pr "  VIOLATION %s\n" (Run.Invariant.to_string v))
       r.h_violations;

@@ -1,5 +1,5 @@
 (** Chaos sweep: catalog scenarios × fault plans, judged by the
-    invariant suite.
+    invariant suite and the {!Run.Liveness} recovery judge.
 
     Runs every {!Harness.Scenarios} scenario on every backend under an
     ambient {!Faults.Plan} — message drop (with lower-layer
@@ -25,11 +25,16 @@ type plan_kind = Run.Spec.plan =
   | Crash_restart
   | Partition
   | Mix
+  | Leader_crash  (** targeted: crash the process named "leader" *)
+  | Partition_minority  (** targeted: cut a 2-of-5 replica minority *)
+  | Partition_majority  (** targeted: cut a 3-of-5 replica majority *)
 
 val all_plans : plan_kind list
-(** The fault-injecting plans, in sweep order — the default sweep
-    product.  [Screen] injects nothing and is opt-in by name
-    ([--plan screen]). *)
+(** The generic fault-injecting plans, in sweep order — the default
+    sweep product.  [Screen] injects nothing, and the targeted plans
+    ({!Run.Spec.targeted_plans}) aim at specific protocol topologies;
+    both are opt-in by name ([--plan screen],
+    [--plan leader-crash], ...). *)
 
 val plan_kind_name : plan_kind -> string
 val plan_kind_of_string : string -> plan_kind option
@@ -46,10 +51,13 @@ type result = {
   h_case : case;
   h_ok : bool;  (** the scenario's own verdict — informational under faults *)
   h_violations : Run.Invariant.violation list;
+  h_liveness : Run.Liveness.verdict;
+      (** recovery judgement for fault-tolerant scenarios under windowed
+          plans; {!Run.Liveness.Missed} fails the case like a violation *)
   h_detail : string;
   h_events_hash : int64;
   h_faults : (string * int) list;
-      (** injected-fault and screening counters for the run *)
+      (** injected-fault, screening and recovery counters for the run *)
 }
 
 val case_name : case -> string
@@ -106,10 +114,12 @@ val sweep_full :
     detector saw under fault widening against the static predictions. *)
 
 val failures : result list -> result list
+(** Cases that breached safety (an invariant violation) or liveness
+    (the recovery judge reported {!Run.Liveness.Missed}). *)
 
 val table : result list -> string
-(** The verdict/fingerprint table — the byte-comparable determinism
-    witness. *)
+(** The verdict/liveness/fingerprint table — the byte-comparable
+    determinism witness. *)
 
 val summary : result list -> string
 (** Per-(scenario, plan) pass/fail table. *)

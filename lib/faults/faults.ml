@@ -16,6 +16,12 @@ module Plan = struct
       s_budget = 8;
     }
 
+  (* Which side of the partition a node falls on.  [Parity] is the
+     historical odd/even split; [High k] cuts nodes [>= k] away from
+     nodes [< k], which lets a plan isolate a chosen minority or
+     majority of a replica group. *)
+  type cut = Parity | High of int
+
   type t = {
     label : string;
     drop : float;
@@ -25,7 +31,9 @@ module Plan = struct
     retransmit : Time.t;
     crash_at : Time.t option;
     restart_after : Time.t option;
+    crash_victim : string option;
     partition_at : (Time.t * Time.t) option;
+    partition_cut : cut;
     screening : screening option;
   }
 
@@ -39,7 +47,9 @@ module Plan = struct
       retransmit = Time.us 200;
       crash_at = None;
       restart_after = None;
+      crash_victim = None;
       partition_at = None;
+      partition_cut = Parity;
       screening = Some default_screening;
     }
 
@@ -69,6 +79,63 @@ module Plan = struct
       restart_after = Some (Time.ms 2);
     }
 
+  (* Screening for the targeted plans: a tight retry budget so failure
+     detection concludes (with [Excn.Timeout]) inside the fault window
+     instead of waiting it out.  The values are for the fast backends —
+     each LYNX runtime floors them at its transport's round trip
+     ({!floor_screening}), so Charlotte detects in 2 x 110 ms while
+     SODA and Chrysalis keep the 70 ms horizon. *)
+  let targeted_screening =
+    {
+      s_timeout = Time.ms 30;
+      s_backoff = 2;
+      s_timeout_cap = Time.ms 40;
+      s_budget = 2;
+    }
+
+  (* A reply timeout below the transport's own round trip can only
+     misfire: every healthy call would be retransmitted, the dedup
+     cache would re-answer every retransmission, and the extra traffic
+     can congest a serialised transport (Charlotte's ring) into a
+     retry storm.  Each backend world floors the ambient plan's
+     screening at twice its kernel's nominal RPC round trip — the
+     margin covers queueing — before arming the runtime. *)
+  let floor_screening ~rtt sp =
+    let fl = Time.scale rtt 2 in
+    {
+      sp with
+      s_timeout = Time.max sp.s_timeout fl;
+      s_timeout_cap = Time.max sp.s_timeout_cap fl;
+    }
+
+  let leader_crash =
+    {
+      none with
+      label = "leader-crash";
+      crash_at = Some (Time.ms 10);
+      restart_after = Some (Time.ms 300);
+      crash_victim = Some "leader";
+      screening = Some targeted_screening;
+    }
+
+  let partition_minority =
+    {
+      none with
+      label = "partition-minority";
+      partition_at = Some (Time.ms 10, Time.ms 300);
+      partition_cut = High 4;
+      screening = Some targeted_screening;
+    }
+
+  let partition_majority =
+    {
+      none with
+      label = "partition-majority";
+      partition_at = Some (Time.ms 10, Time.ms 300);
+      partition_cut = High 3;
+      screening = Some targeted_screening;
+    }
+
   (* A probability of 1 would retransmit forever; 0.95 keeps every
      retransmission loop geometric. *)
   let clamp p = if p < 0. then 0. else if p > 0.95 then 0.95 else p
@@ -85,6 +152,19 @@ module Plan = struct
         | _, r -> r);
     }
 
+  (* Virtual time at which the last fault window closes: crash healed,
+     partition lifted.  Zero for plans with no windowed fault — the
+     liveness clock then starts at t0. *)
+  let window_close t =
+    let heal =
+      match (t.crash_at, t.restart_after) with
+      | Some at, Some r -> Time.add at r
+      | Some at, None -> Time.add at (Time.ms 3) (* validate's default *)
+      | None, _ -> Time.zero
+    in
+    let lift = match t.partition_at with Some (_, z) -> z | None -> Time.zero in
+    Time.max heal lift
+
   let to_string t =
     let b = Buffer.create 64 in
     Buffer.add_string b t.label;
@@ -95,11 +175,17 @@ module Plan = struct
     (match t.crash_at with
     | Some at -> Buffer.add_string b (Printf.sprintf " crash@%s" (Time.to_string at))
     | None -> ());
+    (match t.crash_victim with
+    | Some v -> Buffer.add_string b (Printf.sprintf " victim=%s" v)
+    | None -> ());
     (match t.partition_at with
     | Some (a, z) ->
       Buffer.add_string b
         (Printf.sprintf " partition@[%s,%s)" (Time.to_string a) (Time.to_string z))
     | None -> ());
+    (match t.partition_cut with
+    | Parity -> ()
+    | High k -> Buffer.add_string b (Printf.sprintf " cut=high%d" k));
     Buffer.contents b
 end
 
@@ -135,11 +221,25 @@ module Injector = struct
 
   (* Picking the victim is deferred to crash time so every process
      spawned before the crash is a candidate; the draw is deterministic
-     because registration order and the injector stream are. *)
+     because registration order and the injector stream are.  A plan
+     with [crash_victim] names its target instead — if no registered
+     process matches, fall back to the seeded draw so mis-targeted
+     plans still inject something. *)
   let crash t ~restart_after =
     let n = List.length t.victims in
     if n > 0 then begin
-      let idx = Rng.int t.rng n in
+      let targeted =
+        match t.plan.Plan.crash_victim with
+        | None -> None
+        | Some wanted ->
+          let rec find i = function
+            | [] -> None
+            | v :: _ when String.equal v wanted -> Some i
+            | _ :: tl -> find (i + 1) tl
+          in
+          find 0 (List.rev t.victims)
+      in
+      let idx = match targeted with Some i -> i | None -> Rng.int t.rng n in
       let name = List.nth t.victims (n - 1 - idx) in
       t.down <- Some idx;
       t.heal_at <- Time.add (Engine.now t.eng) restart_after;
@@ -191,7 +291,12 @@ module Injector = struct
     match (t.plan.Plan.partition_at, src, dst) with
     | Some (a, z), Some s, Some d ->
       let now = Engine.now t.eng in
-      Time.(now >= a) && Time.(now < z) && s land 1 <> d land 1
+      Time.(now >= a)
+      && Time.(now < z)
+      &&
+      (match t.plan.Plan.partition_cut with
+      | Plan.Parity -> s land 1 <> d land 1
+      | Plan.High k -> s >= k <> (d >= k))
     | _ -> false
 
   let spike t = Time.mul_float t.plan.Plan.delay_bound (Rng.float t.rng)

@@ -41,6 +41,27 @@ module Plan : sig
 
   val default_screening : screening
 
+  val targeted_screening : screening
+  (** Tighter policy for the targeted plans: a two-attempt budget whose
+      horizon (30 + 40 = 70 ms on the fast backends; 2 x 110 ms on
+      Charlotte after {!floor_screening}) sits inside the targeted
+      fault windows, so callers detect a crashed or partitioned peer
+      instead of waiting out the heal. *)
+
+  val floor_screening : rtt:Sim.Time.t -> screening -> screening
+  (** Raise [s_timeout] and [s_timeout_cap] to at least twice [rtt] —
+      the backend's nominal RPC round trip.  A reply timeout below the
+      transport's round trip misfires on every healthy call; the
+      resulting retransmissions and cached re-replies can congest a
+      serialised transport (Charlotte's ring) into a retry storm.  Each
+      backend world applies this before arming a process's screening. *)
+
+  type cut =
+    | Parity  (** odd- vs even-numbered nodes (the historical split) *)
+    | High of int
+        (** nodes [>= k] cut away from nodes [< k] — lets a plan isolate
+            a chosen minority or majority of a replica group *)
+
   type t = {
     label : string;
     drop : float;  (** per-delivery probability a frame is lost *)
@@ -56,9 +77,15 @@ module Plan : sig
     restart_after : Sim.Time.t option;
         (** outage length; defaulted when [crash_at] is set, so a crash
             always heals and runs always terminate *)
+    crash_victim : string option;
+        (** crash the registered process with this name (deterministic
+            targeting, e.g. "crash the leader"); falls back to the
+            seeded draw when nothing matches *)
     partition_at : (Sim.Time.t * Sim.Time.t) option;
-        (** window during which odd- and even-numbered nodes cannot
-            exchange frames (deliveries stall until heal) *)
+        (** window during which nodes on opposite sides of
+            [partition_cut] cannot exchange frames (deliveries stall
+            until heal) *)
+    partition_cut : cut;  (** which nodes the partition separates *)
     screening : screening option;
         (** armed on every process of a faulted world *)
   }
@@ -73,10 +100,28 @@ module Plan : sig
   val partition : t
   val mix : t
 
+  val leader_crash : t
+  (** Crash the process registered as "leader" at 10 ms for a 300 ms
+      outage, screening tight enough to detect it — the re-election
+      stress test. *)
+
+  val partition_minority : t
+  (** Cut nodes [>= 4] away for \[10 ms, 300 ms) — isolates a 2-of-5
+      replica minority, so quorum writes degrade but commit. *)
+
+  val partition_majority : t
+  (** Cut nodes [>= 3] away for \[10 ms, 300 ms) — isolates a 3-of-5
+      majority, so quorum writes must fail (and stay safe) until heal. *)
+
   val validate : t -> t
   (** Clamps probabilities to [0, 0.95] (a drop probability of 1 would
       retransmit forever) and defaults [restart_after] when [crash_at]
       is set. *)
+
+  val window_close : t -> Sim.Time.t
+  (** Virtual time at which the last fault window closes (crash healed,
+      partition lifted); {!Sim.Time.zero} for windowless plans.  The
+      liveness judge measures recovery deadlines from here. *)
 
   val to_string : t -> string
 end

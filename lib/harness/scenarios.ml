@@ -560,6 +560,8 @@ type registered = {
     shards:int ->
     backend ->
     outcome;
+  sc_recovery_deadline : Time.t option;
+      (* fault-tolerant scenarios: recovery budget after window close *)
 }
 
 let every_backend (_ : backend) = true
@@ -576,6 +578,7 @@ let registry =
       sc_run =
         (fun ~seed ~policy ~legacy_trace ~shards:_ w ->
           simultaneous_move ~seed ~policy ~legacy_trace w);
+      sc_recovery_deadline = None;
     };
     {
       sc_name = "enclosures";
@@ -583,6 +586,7 @@ let registry =
       sc_run =
         (fun ~seed ~policy ~legacy_trace ~shards:_ w ->
           enclosure_protocol ~seed ~policy ~legacy_trace ~n_encl:3 w);
+      sc_recovery_deadline = None;
     };
     {
       sc_name = "cross-request";
@@ -590,6 +594,7 @@ let registry =
       sc_run =
         (fun ~seed ~policy ~legacy_trace ~shards:_ w ->
           cross_request ~seed ~policy ~legacy_trace w);
+      sc_recovery_deadline = None;
     };
     {
       sc_name = "open-close";
@@ -597,6 +602,7 @@ let registry =
       sc_run =
         (fun ~seed ~policy ~legacy_trace ~shards:_ w ->
           open_close_race ~seed ~policy ~legacy_trace w);
+      sc_recovery_deadline = None;
     };
     {
       sc_name = "lost-enclosure";
@@ -604,6 +610,7 @@ let registry =
       sc_run =
         (fun ~seed ~policy ~legacy_trace ~shards:_ w ->
           lost_enclosure ~seed ~policy ~legacy_trace w);
+      sc_recovery_deadline = None;
     };
     {
       sc_name = "bounced-enclosure";
@@ -611,6 +618,7 @@ let registry =
       sc_run =
         (fun ~seed ~policy ~legacy_trace ~shards:_ w ->
           bounced_enclosure ~seed ~policy ~legacy_trace w);
+      sc_recovery_deadline = None;
     };
     {
       sc_name = "shard-rpc";
@@ -630,6 +638,41 @@ let registry =
             o_policy = Engine.policy_name policy;
             o_view = r.Shard_rpc.r_view;
           });
+      sc_recovery_deadline = None;
+    };
+    {
+      sc_name = "ring-election";
+      sc_applies_to = every_backend;
+      sc_run =
+        (fun ~seed ~policy ~legacy_trace ~shards:_ w ->
+          let r = Election.run ~seed ~policy ~legacy_trace w in
+          {
+            o_ok = r.Election.r_ok;
+            o_duration = r.Election.r_duration;
+            o_counters = r.Election.r_counters;
+            o_detail = r.Election.r_detail;
+            o_seed = seed;
+            o_policy = Engine.policy_name policy;
+            o_view = r.Election.r_view;
+          });
+      sc_recovery_deadline = Some Election.deadline;
+    };
+    {
+      sc_name = "quorum";
+      sc_applies_to = every_backend;
+      sc_run =
+        (fun ~seed ~policy ~legacy_trace ~shards:_ w ->
+          let r = Quorum.run ~seed ~policy ~legacy_trace w in
+          {
+            o_ok = r.Quorum.r_ok;
+            o_duration = r.Quorum.r_duration;
+            o_counters = r.Quorum.r_counters;
+            o_detail = r.Quorum.r_detail;
+            o_seed = seed;
+            o_policy = Engine.policy_name policy;
+            o_view = r.Quorum.r_view;
+          });
+      sc_recovery_deadline = Some Quorum.deadline;
     };
     {
       sc_name = "hint-repair";
@@ -637,6 +680,7 @@ let registry =
       sc_run =
         (fun ~seed ~policy ~legacy_trace ~shards:_ _ ->
           soda_hint_repair ~seed ~policy ~legacy_trace ());
+      sc_recovery_deadline = None;
     };
     {
       sc_name = "pair-pressure";
@@ -644,6 +688,7 @@ let registry =
       sc_run =
         (fun ~seed ~policy ~legacy_trace ~shards:_ _ ->
           soda_pair_pressure ~seed ~policy ~legacy_trace ());
+      sc_recovery_deadline = None;
     };
   ]
 

@@ -133,6 +133,11 @@ type registered = {
           actually fan out; the single-engine vignettes ignore it —
           either way the outcome is byte-identical at every value, so
           the axis never changes a verdict. *)
+  sc_recovery_deadline : Sim.Time.t option;
+      (** for fault-tolerant scenarios: the virtual-time budget, counted
+          from the fault plan's {!Faults.Plan.window_close}, within
+          which the scenario must stamp [recovery.recovered_at_us].
+          [None] means the liveness judge reports [Vacuous]. *)
 }
 
 val registry : registered list

@@ -49,13 +49,18 @@ type ops = {
     kind:kind ->
     corr:int ->
     op:string ->
+    retx:bool ->
     exn_msg:string option ->
     payload:bytes ->
     enclosures:int list ->
     completion:(send_result -> unit) ->
     unit;
       (** starts a send; [completion] fires (possibly much later) when
-          the message has been received or has failed *)
+          the message has been received or has failed.  [retx] marks a
+          retransmission under an already-used correlation id (a
+          screened caller's retry, or the dedup cache re-answering a
+          duplicate): the same logical message again, which transports
+          and detectors must not treat as a fresh application send *)
   b_set_interest : link:int -> requests:bool -> replies:bool -> unit;
   b_readable : unit -> (int * kind) list;
       (** (link, kind) queues with buffered wanted messages, in arrival

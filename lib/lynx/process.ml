@@ -240,7 +240,8 @@ let usable_or_raise (l : Link.t) =
 (* Send one message and block the calling thread until it has been
    received at the far end (LYNX is stop-and-wait above the kernel:
    "each message blocks the sending coroutine"). *)
-let send_message t (l : Link.t) ~kind ~corr ~op ?exn_msg (vs : Value.t list) =
+let send_message t (l : Link.t) ~kind ~corr ~op ?(retx = false) ?exn_msg
+    (vs : Value.t list) =
   usable_or_raise l;
   let payload, encls = Codec.encode vs in
   (* Move rules, checked before anything is handed to the backend. *)
@@ -259,7 +260,7 @@ let send_message t (l : Link.t) ~kind ~corr ~op ?exn_msg (vs : Value.t list) =
   l.Link.unreceived_sends <- l.Link.unreceived_sends + 1;
   Stats.incr t.sts "lynx.messages_sent";
   let done_ivar = Sync.Ivar.create t.eng in
-  t.ops.Backend.b_send ~link:l.Link.lid ~kind ~corr ~op ~exn_msg ~payload
+  t.ops.Backend.b_send ~link:l.Link.lid ~kind ~corr ~op ~retx ~exn_msg ~payload
     ~enclosures:(List.map (fun (e : Link.t) -> e.Link.lid) encls)
     ~completion:(fun r -> Sync.Ivar.fill done_ivar r);
   let result = Sync.Ivar.read done_ivar in
@@ -289,7 +290,7 @@ let send_message t (l : Link.t) ~kind ~corr ~op ?exn_msg (vs : Value.t list) =
    a timer error-fills the waiter if no reply landed in time — the
    screened caller retries under the {e same} correlation id, so the
    server's dedup cache recognises the retransmission. *)
-let call_attempt t (l : Link.t) ~op ~corr ?timeout vs =
+let call_attempt t (l : Link.t) ~op ~corr ?(retx = false) ?timeout vs =
   let ivar = Sync.Ivar.create t.eng in
   Hashtbl.replace (reply_tbl t l.Link.lid) corr ivar;
   l.Link.replies_expected <- l.Link.replies_expected + 1;
@@ -301,7 +302,7 @@ let call_attempt t (l : Link.t) ~op ~corr ?timeout vs =
     | None -> ());
     if Link.is_usable l then refresh_interest t l
   in
-  (try send_message t l ~kind:Backend.Request ~corr ~op vs
+  (try send_message t l ~kind:Backend.Request ~corr ~op ~retx vs
    with e ->
      unexpect ();
      raise e);
@@ -360,7 +361,7 @@ let call t (l : Link.t) ~op ?expect vs =
         call_attempt t l ~op ~corr ~timeout:sp.Faults.Plan.s_timeout_cap vs
       else begin
         let rec attempt n ~timeout =
-          match call_attempt t l ~op ~corr ~timeout vs with
+          match call_attempt t l ~op ~corr ~retx:(n > 1) ~timeout vs with
           | rx -> rx
           | exception Excn.Timeout _ ->
             if n >= sp.Faults.Plan.s_budget then begin
@@ -509,9 +510,11 @@ let resend_cached t (l : Link.t) ~corr ~op served =
   spawn_thread t ~tname:(Printf.sprintf "%s.rereply" t.pname) (fun () ->
       try
         match served with
-        | Reply_vals vs -> send_message t l ~kind:Backend.Reply ~corr ~op vs
+        | Reply_vals vs ->
+          send_message t l ~kind:Backend.Reply ~corr ~op ~retx:true vs
         | Reply_exn m ->
-          send_message t l ~kind:Backend.Reply ~corr ~op ~exn_msg:m []
+          send_message t l ~kind:Backend.Reply ~corr ~op ~retx:true ~exn_msg:m
+            []
         | Reply_opaque -> ()
       with
       | Excn.Link_destroyed | Excn.Invalid_link | Excn.Process_terminated -> ())

@@ -569,7 +569,7 @@ let pump t () =
 
 (* ---- Backend operations ---------------------------------------------------- *)
 
-let send t ~link ~kind ~corr ~op ~exn_msg ~payload ~enclosures ~completion =
+let send t ~link ~kind ~corr ~op ~retx ~exn_msg ~payload ~enclosures ~completion =
   match Hashtbl.find_opt t.chans link with
   | None ->
     (* The link died and was released before the core processed the
@@ -600,7 +600,9 @@ let send t ~link ~kind ~corr ~op ~exn_msg ~payload ~enclosures ~completion =
     else begin
       let eng = K.engine t.kernel in
       let dest = queue_obj c.ce ~side:(1 - c.ce.CT.side) kind in
-      Engine.emit eng (Event.Send { obj = dest; op });
+      Engine.emit eng
+        (Event.Send
+           { obj = dest; op; unordered = retx || kind = Lynx.Backend.Reply });
       Engine.stamp eng (Printf.sprintf "%s#%d" dest fr.fr_seq);
       List.iter
         (fun h ->
@@ -711,8 +713,9 @@ let make ?(reply_acks = false) kernel pid ~stats =
     {
       Lynx.Backend.b_new_link = new_link t;
       b_send =
-        (fun ~link ~kind ~corr ~op ~exn_msg ~payload ~enclosures ~completion ->
-          send t ~link ~kind ~corr ~op ~exn_msg ~payload ~enclosures ~completion);
+        (fun ~link ~kind ~corr ~op ~retx ~exn_msg ~payload ~enclosures ~completion ->
+          send t ~link ~kind ~corr ~op ~retx ~exn_msg ~payload ~enclosures
+            ~completion);
       b_set_interest =
         (fun ~link ~requests ~replies -> set_interest t ~link ~requests ~replies);
       b_readable = readable t;

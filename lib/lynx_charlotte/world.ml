@@ -52,7 +52,12 @@ let spawn t ?daemon ~node ~name body =
             candidate.  A screened body failing with a clean LYNX
             exception (timeout, destroyed link) ends quietly — that is
             the "cleanly refused" outcome chaos runs assert on. *)
-         let screening = Option.bind t.inj Faults.Injector.screening in
+         let screening =
+           Option.map
+             (Faults.Plan.floor_screening
+             ~rtt:(Charlotte.Costs.rpc_rtt (Charlotte.Kernel.costs t.kernel)))
+             (Option.bind t.inj Faults.Injector.screening)
+         in
          let victim =
            Option.map (fun inj -> Faults.Injector.register_victim inj ~name) t.inj
          in

@@ -180,7 +180,7 @@ let transmit t (c : chan) (fr : frame) =
 let fail_frame (fr : frame) exn =
   fr.f_completion (Error { Lynx.Backend.se_exn = exn; se_recovered = fr.f_encl })
 
-let send t ~link ~kind ~corr ~op ~exn_msg ~payload ~enclosures ~completion =
+let send t ~link ~kind ~corr ~op ~retx ~exn_msg ~payload ~enclosures ~completion =
   match Hashtbl.find_opt t.chans link with
   | None ->
     (* The link died and was released before the core processed the
@@ -206,7 +206,13 @@ let send t ~link ~kind ~corr ~op ~exn_msg ~payload ~enclosures ~completion =
     else begin
       let eng = K.engine t.kernel in
       let slot = Layout.slot ~side:c.side ~kind in
-      Engine.emit eng (Event.Send { obj = slot_queue_obj c.obj slot; op });
+      Engine.emit eng
+        (Event.Send
+           {
+             obj = slot_queue_obj c.obj slot;
+             op;
+             unordered = retx || kind = Lynx.Backend.Reply;
+           });
       Engine.stamp eng (slot_stamp_key c.obj slot corr);
       List.iter
         (fun h ->
@@ -527,8 +533,9 @@ let make kernel pid ~stats =
     {
       Lynx.Backend.b_new_link = new_link t;
       b_send =
-        (fun ~link ~kind ~corr ~op ~exn_msg ~payload ~enclosures ~completion ->
-          send t ~link ~kind ~corr ~op ~exn_msg ~payload ~enclosures ~completion);
+        (fun ~link ~kind ~corr ~op ~retx ~exn_msg ~payload ~enclosures ~completion ->
+          send t ~link ~kind ~corr ~op ~retx ~exn_msg ~payload ~enclosures
+            ~completion);
       b_set_interest =
         (fun ~link ~requests ~replies -> set_interest t ~link ~requests ~replies);
       b_readable = (fun () -> readable t);

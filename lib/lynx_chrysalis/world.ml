@@ -41,7 +41,12 @@ let spawn t ?daemon ~node ~name body =
          let chan, ops = Channel.make t.kernel pid ~stats:t.sts in
          (* See Lynx_charlotte.World.spawn: ops decoration, screening
             and crash candidacy under an ambient fault plan. *)
-         let screening = Option.bind t.inj Faults.Injector.screening in
+         let screening =
+           Option.map
+             (Faults.Plan.floor_screening
+             ~rtt:(Chrysalis.Costs.rpc_rtt (Chrysalis.Kernel.costs t.kernel)))
+             (Option.bind t.inj Faults.Injector.screening)
+         in
          let victim =
            Option.map (fun inj -> Faults.Injector.register_victim inj ~name) t.inj
          in

@@ -513,7 +513,7 @@ let new_link t () =
   Stats.incr t.sts "lynx_soda.links_made";
   (c0.h, c1.h)
 
-let send t ~link ~kind ~corr ~op ~exn_msg ~payload ~enclosures ~completion =
+let send t ~link ~kind ~corr ~op ~retx ~exn_msg ~payload ~enclosures ~completion =
   match Hashtbl.find_opt t.chans link with
   | None ->
     (* The link died and was released before the core processed the
@@ -559,7 +559,13 @@ let send t ~link ~kind ~corr ~op ~exn_msg ~payload ~enclosures ~completion =
         o_done = false;
       }
     in
-    Engine.emit (engine t) (Event.Send { obj = queue_obj c.far_name kind; op });
+    Engine.emit (engine t)
+      (Event.Send
+         {
+           obj = queue_obj c.far_name kind;
+           op;
+           unordered = retx || kind = Lynx.Backend.Reply;
+         });
     List.iter
       (fun (e : Wire.encl) ->
         Engine.emit (engine t)
@@ -702,8 +708,9 @@ let make ?(signal_budget = true) kernel pid ~stats =
     {
       Lynx.Backend.b_new_link = new_link t;
       b_send =
-        (fun ~link ~kind ~corr ~op ~exn_msg ~payload ~enclosures ~completion ->
-          send t ~link ~kind ~corr ~op ~exn_msg ~payload ~enclosures ~completion);
+        (fun ~link ~kind ~corr ~op ~retx ~exn_msg ~payload ~enclosures ~completion ->
+          send t ~link ~kind ~corr ~op ~retx ~exn_msg ~payload ~enclosures
+            ~completion);
       b_set_interest =
         (fun ~link ~requests ~replies -> set_interest t ~link ~requests ~replies);
       b_readable = readable t;

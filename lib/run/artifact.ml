@@ -3,14 +3,28 @@ type t = {
   ok : bool;
   violations : Invariant.violation list;
   races : Analysis.Races.finding list;
+  liveness : Liveness.verdict;
   detail : string;
   duration : Sim.Time.t;
   counters : (string * int) list;
   events_hash : int64;
 }
 
-let anomalous a = a.violations <> []
+let anomalous a = a.violations <> [] || Liveness.missed a.liveness
 let strict_failed a = (not a.ok) || a.violations <> [] || a.races <> []
+
+(* The counters that tell the fault-tolerance story of a run: what the
+   injector did, what screening spent, and what recovery cost. *)
+let fault_counter_prefixes =
+  [ "faults."; "lynx.call_"; "lynx.dup_"; "lynx.bodies_screened"; "recovery." ]
+
+let fault_counters a =
+  List.filter
+    (fun (k, _) ->
+      List.exists
+        (fun p -> String.starts_with ~prefix:p k)
+        fault_counter_prefixes)
+    a.counters
 
 (* ---- JSON rendering ------------------------------------------------- *)
 
@@ -62,6 +76,22 @@ let add_body buf ~indent a =
       indexed_obj buf ~indent
         (Format.asprintf "%a" Analysis.Races.pp_finding)
         a.races);
+  field "liveness" (fun () ->
+      pr "\"%s\"" (escape (Liveness.to_string a.liveness)));
+  field "faults" (fun () ->
+      (* The fault/screening/recovery counter slice, pre-filtered so CI
+         scripts can diff the fault-tolerance story without knowing the
+         prefix list. *)
+      match fault_counters a with
+      | [] -> pr "{}"
+      | fc ->
+        pr "{\n";
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then pr ",\n";
+            pr "%s  \"%s\": %d" indent (escape k) v)
+          fc;
+        pr "\n%s}" indent);
   field ~last:true "counters" (fun () ->
       match a.counters with
       | [] -> pr "{}"

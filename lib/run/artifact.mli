@@ -13,6 +13,9 @@ type t = {
           exceptions *)
   races : Analysis.Races.finding list;
       (** happens-before findings over the run's event stream *)
+  liveness : Liveness.verdict;
+      (** recovery judgement for fault-tolerant scenarios under
+          windowed fault plans; {!Liveness.Vacuous} everywhere else *)
   detail : string;  (** human-readable summary of what happened *)
   duration : Sim.Time.t;  (** virtual time from kickoff to quiescence *)
   counters : (string * int) list;
@@ -23,8 +26,15 @@ type t = {
 }
 
 val anomalous : t -> bool
-(** An invariant was violated — the failure criterion for faulted runs,
-    where missing the scripted finale ([ok = false]) is informational. *)
+(** An invariant was violated or the liveness judge reported
+    {!Liveness.Missed} — the failure criterion for faulted runs, where
+    missing the scripted finale ([ok = false]) is informational. *)
+
+val fault_counters : t -> (string * int) list
+(** The counter increments that tell the run's fault-tolerance story:
+    injected faults ([faults.*]), screening spend ([lynx.call_*],
+    [lynx.dup_*], [lynx.bodies_screened]) and recovery cost
+    ([recovery.*]). *)
 
 val strict_failed : t -> bool
 (** Violated an invariant, raced, or missed the scenario's expected

@@ -57,6 +57,7 @@ let artifact (spec : Spec.t) (o : S.outcome) ~violations ~races =
     ok = o.S.o_ok;
     violations;
     races;
+    liveness = Liveness.judge spec ~counters:o.S.o_counters;
     detail = o.S.o_detail;
     duration = o.S.o_duration;
     counters = o.S.o_counters;
@@ -78,7 +79,10 @@ let judge_streamed (spec : Spec.t) (sum : Analysis.Stream.summary)
     ~violations:(Invariant.check_streamed sum o @ clean_failure o)
     ~races:sum.Analysis.Stream.s_races
 
-(* A wedged or crashed faulted run is itself the finding. *)
+(* A wedged or crashed faulted run is itself the finding.  Judging
+   liveness from the empty counter list means a fault-tolerant scenario
+   that wedged under a windowed plan is also reported as Missed — a run
+   that never finished certainly never recovered. *)
 let aborted (spec : Spec.t) exn =
   {
     Artifact.spec;
@@ -91,6 +95,7 @@ let aborted (spec : Spec.t) exn =
         };
       ];
     races = [];
+    liveness = Liveness.judge spec ~counters:[];
     detail = Printexc.to_string exn;
     duration = Sim.Time.zero;
     counters = [];

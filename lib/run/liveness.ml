@@ -1,0 +1,84 @@
+(* Recovery/liveness judge for faulted runs.
+
+   Safety is the invariant suite's job; this module judges the other
+   half of fault tolerance: after the last fault window closes, did the
+   protocol actually come back?  A scenario opts in by declaring a
+   recovery deadline in the registry ([sc_recovery_deadline]) and
+   stamping the virtual time of its own recovery into the
+   "recovery.recovered_at_us" counter (counters are the one channel
+   that already crosses the outcome boundary deterministically).  The
+   judge measures that stamp against the fault plan's
+   {!Faults.Plan.window_close} — recovery time is only meaningful
+   relative to when the injector stopped interfering — and folds the
+   run's failover and retry counters into the verdict so sweeps can
+   report the cost of recovery, not just the fact of it. *)
+
+type metrics = {
+  m_window_close : Sim.Time.t;
+  m_recovered_at : Sim.Time.t;
+  m_ttr : Sim.Time.t;
+  m_failovers : int;
+  m_retries : int;
+}
+
+type verdict = Vacuous | Live of metrics | Missed of string
+
+let counter counters name =
+  match List.assoc_opt name counters with Some v -> v | None -> 0
+
+let judge (spec : Spec.t) ~counters =
+  let deadline =
+    Option.bind
+      (Harness.Scenarios.find spec.Spec.scenario)
+      (fun sc -> sc.Harness.Scenarios.sc_recovery_deadline)
+  in
+  match (deadline, spec.Spec.plan) with
+  | None, _ | _, None -> Vacuous
+  | Some deadline, Some plan_kind ->
+    let plan = Faults.Plan.validate (Spec.fault_plan plan_kind) in
+    let wc = Faults.Plan.window_close plan in
+    if Sim.Time.is_zero wc then
+      (* The plan never opens a crash or partition window (pure
+         drop/dup/delay noise, or no faults at all): there is no
+         recovery event to demand, so the scenario is vacuously live. *)
+      Vacuous
+    else
+      let give_up = Sim.Time.add wc deadline in
+      match counter counters "recovery.recovered_at_us" with
+      | 0 ->
+        Missed
+          (Printf.sprintf
+             "no recovery before the deadline (window closed %s, budget %s)"
+             (Sim.Time.to_string wc)
+             (Sim.Time.to_string deadline))
+      | us ->
+        let at = Sim.Time.us us in
+        if Sim.Time.(at > give_up) then
+          Missed
+            (Printf.sprintf "recovered at %s, after the %s deadline"
+               (Sim.Time.to_string at)
+               (Sim.Time.to_string give_up))
+        else
+          Live
+            {
+              m_window_close = wc;
+              m_recovered_at = at;
+              m_ttr = Sim.Time.sub at wc;
+              m_failovers = counter counters "recovery.failovers";
+              m_retries = counter counters "lynx.call_retries";
+            }
+
+let missed = function Missed _ -> true | Vacuous | Live _ -> false
+
+let to_string = function
+  | Vacuous -> "vacuous"
+  | Live m ->
+    Printf.sprintf "live ttr=%s failovers=%d retries=%d"
+      (Sim.Time.to_string m.m_ttr) m.m_failovers m.m_retries
+  | Missed why -> "MISSED: " ^ why
+
+(* Short fixed-width form for table columns. *)
+let to_cell = function
+  | Vacuous -> "-"
+  | Live m -> Printf.sprintf "live %s" (Sim.Time.to_string m.m_ttr)
+  | Missed _ -> "MISSED"

@@ -1,0 +1,45 @@
+(** Recovery/liveness judge for faulted runs.
+
+    The invariant suite answers "did the faulted run stay safe"; this
+    module answers "did it come back".  A scenario opts in by declaring
+    a recovery budget in the registry
+    ({!Harness.Scenarios.sc_recovery_deadline}) and stamping the
+    virtual time at which it considered itself recovered into the
+    ["recovery.recovered_at_us"] counter (microseconds, so it fits an
+    int counter).  The judge measures that stamp against the fault
+    plan's {!Faults.Plan.window_close}: a recovery deadline only makes
+    sense relative to when the injector stopped interfering, so plans
+    without a crash/partition window — pure drop/dup/delay noise —
+    judge as {!Vacuous} rather than demanding a recovery that was never
+    needed. *)
+
+type metrics = {
+  m_window_close : Sim.Time.t;
+      (** when the plan's last fault window closed *)
+  m_recovered_at : Sim.Time.t;
+      (** the scenario's own recovery stamp (virtual time) *)
+  m_ttr : Sim.Time.t;  (** time to recover: [recovered_at - window_close] *)
+  m_failovers : int;  (** ["recovery.failovers"]: leadership changes etc. *)
+  m_retries : int;  (** ["lynx.call_retries"]: the screening retry spend *)
+}
+
+type verdict =
+  | Vacuous
+      (** the scenario declares no recovery predicate, the run was
+          unfaulted, or the plan opens no crash/partition window *)
+  | Live of metrics  (** recovered within the deadline *)
+  | Missed of string  (** why liveness was not established *)
+
+val judge : Spec.t -> counters:(string * int) list -> verdict
+(** Judge one run from its spec and counter increments.  Total: unknown
+    scenarios judge as {!Vacuous}. *)
+
+val missed : verdict -> bool
+
+val to_string : verdict -> string
+(** ["vacuous"], ["live ttr=... failovers=... retries=..."] or
+    ["MISSED: reason"] — also the rendering embedded in artifact
+    JSON. *)
+
+val to_cell : verdict -> string
+(** Short form for table columns: ["-"], ["live <ttr>"], ["MISSED"]. *)

@@ -10,5 +10,6 @@
 module Spec = Spec
 module Artifact = Artifact
 module Invariant = Invariant
+module Liveness = Liveness
 module Soundness = Soundness
 include Exec

@@ -26,9 +26,24 @@ let engine_policy kind ~seed =
   | Random -> Engine.Random_order seed
   | Jitter -> Engine.Delay_jitter { jitter_seed = seed; bound = jitter_bound }
 
-type plan = Screen | Drop | Duplicate | Delay | Crash_restart | Partition | Mix
+type plan =
+  | Screen
+  | Drop
+  | Duplicate
+  | Delay
+  | Crash_restart
+  | Partition
+  | Mix
+  | Leader_crash
+  | Partition_minority
+  | Partition_majority
 
 let all_plans = [ Drop; Duplicate; Delay; Crash_restart; Partition; Mix ]
+
+(* The targeted plans aim at specific protocol topologies (named
+   victims, replica-group cuts), so they are opt-in per case rather
+   than part of the default chaos product. *)
+let targeted_plans = [ Leader_crash; Partition_minority; Partition_majority ]
 
 let plan_name = function
   | Screen -> "screen"
@@ -38,6 +53,9 @@ let plan_name = function
   | Crash_restart -> "crash-restart"
   | Partition -> "partition"
   | Mix -> "mix"
+  | Leader_crash -> "leader-crash"
+  | Partition_minority -> "partition-minority"
+  | Partition_majority -> "partition-majority"
 
 let plan_of_string = function
   | "screen" -> Some Screen
@@ -47,6 +65,9 @@ let plan_of_string = function
   | "crash-restart" -> Some Crash_restart
   | "partition" -> Some Partition
   | "mix" -> Some Mix
+  | "leader-crash" -> Some Leader_crash
+  | "partition-minority" -> Some Partition_minority
+  | "partition-majority" -> Some Partition_majority
   | _ -> None
 
 let fault_plan = function
@@ -57,6 +78,9 @@ let fault_plan = function
   | Crash_restart -> Faults.Plan.crash_restart
   | Partition -> Faults.Plan.partition
   | Mix -> Faults.Plan.mix
+  | Leader_crash -> Faults.Plan.leader_crash
+  | Partition_minority -> Faults.Plan.partition_minority
+  | Partition_majority -> Faults.Plan.partition_majority
 
 type t = {
   scenario : string;

@@ -40,10 +40,20 @@ type plan =
   | Crash_restart
   | Partition
   | Mix
+  | Leader_crash
+      (** crash the process registered as "leader" for a long outage *)
+  | Partition_minority  (** cut a 2-of-5 replica minority away *)
+  | Partition_majority  (** cut a 3-of-5 replica majority away *)
 
 val all_plans : plan list
-(** The fault-injecting plans, in sweep order ([Screen] excluded: it
-    injects nothing and is opt-in by name). *)
+(** The generic fault-injecting plans, in sweep order ([Screen]
+    excluded: it injects nothing and is opt-in by name). *)
+
+val targeted_plans : plan list
+(** The targeted plans ([Leader_crash], [Partition_minority],
+    [Partition_majority]): they aim at specific protocol topologies, so
+    they are opt-in per case ([--plan leader-crash]) rather than part of
+    the default chaos product. *)
 
 val plan_name : plan -> string
 val plan_of_string : string -> plan option

@@ -3,7 +3,7 @@ type kind =
   | Crash of { fid : int; name : string; error : string }
   | Note of string
   | Block of { reason : string }
-  | Send of { obj : string; op : string }
+  | Send of { obj : string; op : string; unordered : bool }
   | Receive of { obj : string; op : string }
   | Signal of { obj : string; woke : bool }
   | Signal_seen of { obj : string }
@@ -69,7 +69,8 @@ let kind_to_string = function
     Printf.sprintf "crash #%d %s: %s" fid name error
   | Note msg -> Printf.sprintf "note %s" msg
   | Block { reason } -> Printf.sprintf "block %s" reason
-  | Send { obj; op } -> Printf.sprintf "send %s op=%s" obj op
+  | Send { obj; op; unordered } ->
+    Printf.sprintf "send %s op=%s%s" obj op (if unordered then " unordered" else "")
   | Receive { obj; op } -> Printf.sprintf "receive %s op=%s" obj op
   | Signal { obj; woke } ->
     Printf.sprintf "signal %s %s" obj (if woke then "woke" else "latched")

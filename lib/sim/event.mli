@@ -15,7 +15,7 @@ type kind =
   | Crash of { fid : int; name : string; error : string }
   | Note of string  (** free-form legacy trace line *)
   | Block of { reason : string }  (** a fiber suspended *)
-  | Send of { obj : string; op : string }
+  | Send of { obj : string; op : string; unordered : bool }
       (** a message entered the queue named [obj] *)
   | Receive of { obj : string; op : string }
       (** a message left the queue named [obj] *)

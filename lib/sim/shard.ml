@@ -189,7 +189,7 @@ let send ctx ~dst ?latency ?(op = "msg") msg =
   if dst < 0 || dst >= t.n_count then invalid_arg "Shard.send: unknown node";
   let src = ctx.c_node in
   let obj = Printf.sprintf "n%d->n%d" src.n_id dst in
-  Engine.emit ctx.c_eng (Event.Send { obj; op });
+  Engine.emit ctx.c_eng (Event.Send { obj; op; unordered = false });
   (* The clock is captured after the Send tick, so the Receive on the
      other shard inherits an edge that covers the send itself. *)
   let clk = Engine.clock ctx.c_eng in

@@ -52,3 +52,10 @@ let transfer_time t ~bytes = Sim.Time.scale t.per_byte bytes
    interaction reaches another kernel faster than a single [op_fixed].
    Used as the PDES lookahead for sharded runs. *)
 let lookahead t = t.op_fixed
+
+(* Nominal round trip of a small request/accept RPC — the paper's
+   ~18 ms "three times the speed of Charlotte" point: four kernel legs
+   plus the two interrupt dispatches.  Floors the runtime's screening
+   timeouts. *)
+let rpc_rtt t =
+  Sim.Time.add (Sim.Time.scale t.op_fixed 4) (Sim.Time.scale t.interrupt_cpu 2)

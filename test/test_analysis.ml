@@ -240,8 +240,8 @@ let race_synth_tests =
       (fun () ->
         let events =
           [
-            ev ~fid:1 (Event.Send { obj = "q"; op = "a" });
-            ev ~fid:2 (Event.Send { obj = "q"; op = "b" });
+            ev ~fid:1 (Event.Send { obj = "q"; op = "a"; unordered = false });
+            ev ~fid:2 (Event.Send { obj = "q"; op = "b"; unordered = false });
           ]
         in
         (* Sanity: the clocks really are incomparable. *)
@@ -255,8 +255,8 @@ let race_synth_tests =
         let c2 = Vclock.tick c1 2 in
         let events =
           [
-            ev ~fid:1 ~clock:(Some c1) (Event.Send { obj = "q"; op = "a" });
-            ev ~fid:2 ~clock:(Some c2) (Event.Send { obj = "q"; op = "b" });
+            ev ~fid:1 ~clock:(Some c1) (Event.Send { obj = "q"; op = "a"; unordered = false });
+            ev ~fid:2 ~clock:(Some c2) (Event.Send { obj = "q"; op = "b"; unordered = false });
           ]
         in
         checki "findings" 0 (List.length (analyze events)));
@@ -307,7 +307,7 @@ let race_synth_tests =
       (fun () ->
         let events =
           [
-            ev ~fid:1 (Event.Send { obj = "cha.L9.s0.req"; op = "ping" });
+            ev ~fid:1 (Event.Send { obj = "cha.L9.s0.req"; op = "ping"; unordered = false });
             ev ~fid:2 (Event.Link_move { obj = "cha.L9.s0" });
           ]
         in
@@ -318,7 +318,7 @@ let race_synth_tests =
       (fun () ->
         let events =
           [
-            ev ~fid:1 (Event.Send { obj = "cha.L9.s0.req"; op = "ping" });
+            ev ~fid:1 (Event.Send { obj = "cha.L9.s0.req"; op = "ping"; unordered = false });
             ev ~fid:2 (Event.Link_move { obj = "cha.L9.s0" });
             ev ~fid:3 (Event.Receive { obj = "cha.L9.s0.req"; op = "ping" });
           ]

@@ -192,10 +192,50 @@ let race_tests =
       checkb "some raise" true (List.mem `Raised outcomes);
       checkb "some complete" true (List.mem `Completed outcomes))
 
+(* The targeted plans are named presets; their distinguishing fields —
+   the crash victim, the partition window, the replica-group cut — must
+   survive into [Plan.to_string], because that string is the only
+   rendering of the plan a chaos repro prints. *)
+let test_targeted_plan_strings () =
+  let has affix s =
+    try
+      ignore (Str.search_forward (Str.regexp_string affix) s 0);
+      true
+    with Not_found -> false
+  in
+  let check plan affixes =
+    let s = Faults.Plan.to_string plan in
+    List.iter
+      (fun a -> checkb (Printf.sprintf "%S carries %S" s a) true (has a s))
+      affixes
+  in
+  check Faults.Plan.leader_crash
+    [ "leader-crash"; "crash@10.000ms"; "victim=leader" ];
+  check Faults.Plan.partition_minority
+    [ "partition-minority"; "partition@[10.000ms,300.000ms)"; "cut=high4" ];
+  check Faults.Plan.partition_majority
+    [ "partition-majority"; "partition@[10.000ms,300.000ms)"; "cut=high3" ];
+  (* And the windows the liveness judge measures from. *)
+  let close plan = Faults.Plan.window_close (Faults.Plan.validate plan) in
+  Alcotest.(check int)
+    "leader-crash heals at 310ms" 310
+    (Time.to_ns (close Faults.Plan.leader_crash) / 1_000_000);
+  Alcotest.(check int)
+    "partitions lift at 300ms" 300
+    (Time.to_ns (close Faults.Plan.partition_majority) / 1_000_000);
+  Alcotest.(check bool)
+    "windowless plans have no window" true
+    (Time.is_zero (close Faults.Plan.drops))
+
 let () =
   Alcotest.run "faults"
     [
       ("kills", kill_tests);
       ("nameserver", ns_fault_tests);
       ("races", race_tests);
+      ( "plans",
+        [
+          Alcotest.test_case "targeted plan strings" `Quick
+            test_targeted_plan_strings;
+        ] );
     ]

@@ -1,0 +1,199 @@
+(* Tier-1 suite for the recovery/liveness judge (lib/run/liveness.ml).
+
+   The judge is pure — a spec plus a counter list — so the boundary
+   cases are pinned synthetically: recovery exactly at the deadline is
+   Live, one microsecond past it is Missed, a missing stamp is Missed
+   (this is also how a wedged run is judged, via [Run.aborted]'s empty
+   counters), and windowless plans or scenarios without a declared
+   recovery deadline are Vacuous.  The real pipeline is then exercised
+   end to end: the targeted fault plans must leave both fault-tolerant
+   scenarios Live on every backend, byte-identically at every [-j] and
+   shard count. *)
+
+module R = Run
+module L = Run.Liveness
+module Spec = Run.Spec
+module A = Run.Artifact
+module BW = Harness.Backend_world
+open Sim
+
+let spec ?plan scenario =
+  Spec.v ?plan ~scenario ~backend:"chrysalis" 1
+
+(* leader-crash: crash at 10 ms, restart after 300 ms -> window closes
+   at 310 ms; ring-election's budget is 1500 ms -> give-up at 1810 ms. *)
+let election_spec = spec ~plan:Spec.Leader_crash "ring-election"
+let wc_us = 310_000
+let give_up_us = wc_us + Time.to_ns Harness.Election.deadline / 1000
+
+let stamp us = [ ("recovery.recovered_at_us", us) ]
+
+let verdict_kind = function
+  | L.Vacuous -> "vacuous"
+  | L.Live _ -> "live"
+  | L.Missed _ -> "missed"
+
+let check_kind what want v =
+  Alcotest.(check string) what want (verdict_kind v)
+
+let test_just_in_time () =
+  match L.judge election_spec ~counters:(stamp give_up_us) with
+  | L.Live m ->
+    Alcotest.(check int)
+      "window close" wc_us
+      (Time.to_ns m.L.m_window_close / 1000);
+    Alcotest.(check int)
+      "ttr is the whole budget"
+      (Time.to_ns Harness.Election.deadline)
+      (Time.to_ns m.L.m_ttr)
+  | v -> Alcotest.failf "expected Live, got %s" (L.to_string v)
+
+let test_misses_deadline () =
+  check_kind "one us late is missed" "missed"
+    (L.judge election_spec ~counters:(stamp (give_up_us + 1)));
+  (* No stamp at all: the scenario never recovered — the verdict a
+     wedged run gets, since [Run.aborted] judges from empty counters. *)
+  check_kind "no stamp is missed" "missed"
+    (L.judge election_spec ~counters:[]);
+  match L.judge election_spec ~counters:[] with
+  | L.Missed why ->
+    Alcotest.(check bool) "why names the window" true
+      (try
+         ignore (Str.search_forward (Str.regexp_string "window closed") why 0);
+         true
+       with Not_found -> false)
+  | v -> Alcotest.failf "expected Missed, got %s" (L.to_string v)
+
+let test_vacuous () =
+  (* Recovery before the window even closes can only happen to a
+     protocol the faults never touched; it still counts as Live with a
+     zero (saturated) time-to-recover. *)
+  (match L.judge election_spec ~counters:(stamp (wc_us - 1)) with
+  | L.Live m -> Alcotest.(check bool) "ttr saturates" true (Time.is_zero m.L.m_ttr)
+  | v -> Alcotest.failf "expected Live, got %s" (L.to_string v));
+  (* Windowless plan: drop noise opens no crash or partition window. *)
+  check_kind "windowless plan" "vacuous"
+    (L.judge (spec ~plan:Spec.Drop "ring-election") ~counters:[]);
+  (* Never faulted: no plan at all. *)
+  check_kind "no plan" "vacuous" (L.judge (spec "ring-election") ~counters:[]);
+  (* A scenario with no declared recovery deadline is never judged. *)
+  check_kind "no deadline declared" "vacuous"
+    (L.judge (spec ~plan:Spec.Leader_crash "move") ~counters:[]);
+  Alcotest.(check bool) "only Missed fails" false (L.missed L.Vacuous);
+  Alcotest.(check bool) "Missed fails" true (L.missed (L.Missed "x"))
+
+let test_metrics_fold () =
+  let counters =
+    stamp give_up_us
+    @ [ ("recovery.failovers", 2); ("lynx.call_retries", 7) ]
+  in
+  match L.judge election_spec ~counters with
+  | L.Live m ->
+    Alcotest.(check int) "failovers" 2 m.L.m_failovers;
+    Alcotest.(check int) "retries" 7 m.L.m_retries
+  | v -> Alcotest.failf "expected Live, got %s" (L.to_string v)
+
+(* ---- the real pipeline ------------------------------------------------ *)
+
+let targeted_cases =
+  List.concat_map
+    (fun (sc, plans) ->
+      List.concat_map
+        (fun plan ->
+          List.map
+            (fun b -> Spec.v ~plan ~scenario:sc ~backend:b 1)
+            [ "charlotte"; "soda"; "chrysalis" ])
+        plans)
+    [
+      ("ring-election", [ Spec.Leader_crash ]);
+      ("quorum", [ Spec.Partition_minority; Spec.Partition_majority ]);
+    ]
+
+let test_targeted_plans_live () =
+  List.iter
+    (fun s ->
+      match R.execute s with
+      | None -> Alcotest.failf "%s did not run" (Spec.to_string s)
+      | Some a ->
+        Alcotest.(check bool)
+          (Spec.to_string s ^ " not anomalous")
+          false (A.anomalous a);
+        check_kind (Spec.to_string s ^ " live") "live" a.A.liveness)
+    targeted_cases
+
+(* Under leader-crash the ring must elect someone other than the crash
+   victim (the "leader" candidate, highest-numbered): the monitor's
+   kick prefers it, so a different winner proves the failure was
+   detected and routed around, not waited out. *)
+let test_leader_crash_fails_over () =
+  match R.execute election_spec with
+  | Some a ->
+    Alcotest.(check bool) "scenario ok" true a.A.ok;
+    Alcotest.(check bool)
+      ("winner is not the victim: " ^ a.A.detail)
+      true
+      (Str.string_match (Str.regexp "leader=[012]\\b") a.A.detail 0);
+    Alcotest.(check bool)
+      "an election was won" true
+      (match List.assoc_opt "recovery.elections_won" a.A.counters with
+      | Some n -> n >= 1
+      | None -> false)
+  | None -> Alcotest.fail "ring-election should run on chrysalis"
+
+(* Determinism: the artifact is byte-stable across the pool width and
+   the shard count (these scenarios are single-shard protocols: the
+   shard knob must not perturb them). *)
+let test_determinism () =
+  let seq = R.execute_many ~jobs:1 targeted_cases in
+  let par = R.execute_many ~jobs:4 targeted_cases in
+  List.iter2
+    (fun a b ->
+      match (a, b) with
+      | Some a, Some b ->
+        Alcotest.(check int64)
+          (Spec.to_string a.A.spec ^ " hash at -j1 = -j4")
+          a.A.events_hash b.A.events_hash;
+        Alcotest.(check string) "detail" a.A.detail b.A.detail;
+        Alcotest.(check string)
+          "liveness" (L.to_string a.A.liveness) (L.to_string b.A.liveness)
+      | _ -> Alcotest.fail "case vanished")
+    seq par;
+  List.iter
+    (fun sc ->
+      let at shards =
+        match
+          R.execute
+            (Spec.v ~plan:Spec.Leader_crash ~shards ~scenario:sc
+               ~backend:"chrysalis" 1)
+        with
+        | Some a -> (a.A.events_hash, a.A.detail)
+        | None -> Alcotest.failf "%s did not run" sc
+      in
+      let h1 = at 1 in
+      List.iter
+        (fun k ->
+          Alcotest.(check (pair int64 string))
+            (Printf.sprintf "%s at ~s%d == ~s1" sc k)
+            h1 (at k))
+        [ 2; 4 ])
+    [ "ring-election"; "quorum" ]
+
+let () =
+  Alcotest.run "liveness"
+    [
+      ( "judge",
+        [
+          Alcotest.test_case "just in time" `Quick test_just_in_time;
+          Alcotest.test_case "missed" `Quick test_misses_deadline;
+          Alcotest.test_case "vacuous" `Quick test_vacuous;
+          Alcotest.test_case "metrics fold" `Quick test_metrics_fold;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "targeted plans live" `Slow
+            test_targeted_plans_live;
+          Alcotest.test_case "leader-crash fails over" `Slow
+            test_leader_crash_fails_over;
+          Alcotest.test_case "determinism" `Slow test_determinism;
+        ] );
+    ]

@@ -41,7 +41,10 @@ let spec_arb =
            (oneof [ oneofl BW.names; name_gen ])
            small_signed_int
            (oneofl Spec.all_policies)
-           (oneofl (None :: List.map Option.some (Spec.Screen :: Spec.all_plans)))
+           (oneofl
+              (None
+              :: List.map Option.some
+                   ((Spec.Screen :: Spec.all_plans) @ Spec.targeted_plans)))
            (oneofl [ 1; 1; 2; 4; 8 ])
            bool))
 
@@ -82,7 +85,18 @@ let test_parse_forms () =
   Alcotest.(check check_spec)
     "screening plan"
     (Spec.v ~plan:Spec.Screen ~scenario:"open-close" ~backend:"chrysalis" 1)
-    (Spec.of_string_exn "open-close/chrysalis/1/fifo@screen")
+    (Spec.of_string_exn "open-close/chrysalis/1/fifo@screen");
+  (* The targeted plans parse in both positions too — the chaos tables
+     print them in the policy slot. *)
+  Alcotest.(check check_spec)
+    "targeted plan"
+    (Spec.v ~plan:Spec.Leader_crash ~scenario:"ring-election"
+       ~backend:"charlotte" 1)
+    (Spec.of_string_exn "ring-election/charlotte/1/fifo@leader-crash");
+  Alcotest.(check string)
+    "targeted legacy handle canonicalises"
+    "quorum/soda/2/fifo@partition-majority"
+    (Spec.to_string (Spec.of_string_exn "quorum/soda/2/partition-majority"))
 
 let test_parse_errors () =
   let rejects s =
@@ -114,6 +128,8 @@ let test_registry () =
       "lost-enclosure";
       "bounced-enclosure";
       "shard-rpc";
+      "ring-election";
+      "quorum";
       "hint-repair";
       "pair-pressure";
     ]
@@ -217,7 +233,28 @@ let test_json_shape () =
     has "\"schema\": \"lynx-run/1\"";
     has "\"spec\": \"move/chrysalis/3/fifo\"";
     has "\"events_hash\"";
-    has "\"counters\""
+    has "\"counters\"";
+    (* The recovery additions ride in the same schema: a liveness string
+       (vacuous for a clean run) and a pre-filtered fault-counter
+       object, both inside the compare.exe parser subset. *)
+    has "\"liveness\": \"vacuous\"";
+    has "\"faults\"";
+    (match
+       R.execute
+         (Spec.v ~plan:Spec.Leader_crash ~scenario:"ring-election"
+            ~backend:"chrysalis" 1)
+     with
+    | None -> Alcotest.fail "ring-election/chrysalis should run"
+    | Some a ->
+      let j = A.to_json a in
+      Alcotest.(check bool)
+        "faulted json reports live" true
+        (let needle = "\"liveness\": \"live" in
+         let nl = String.length needle and jl = String.length j in
+         let rec go i =
+           i + nl <= jl && (String.sub j i nl = needle || go (i + 1))
+         in
+         go 0))
 
 (* ---- golden compatibility -------------------------------------------- *)
 
@@ -244,23 +281,46 @@ let golden_explore_summary =
    open-close           random        6      0\n\
    pair-pressure        fifo          2      0\n\
    pair-pressure        random        2      0\n\
+   quorum               fifo          6      0\n\
+   quorum               random        6      0\n\
+   ring-election        fifo          6      0\n\
+   ring-election        random        6      0\n\
    shard-rpc            fifo          6      0\n\
    shard-rpc            random        6      0\n"
 
+(* Recaptured when screening timeouts gained the per-backend RTT floor:
+   move under duplicate/mix on Charlotte now succeeds (the old captures
+   failed only because sub-RTT timeouts made every healthy call
+   retransmit), and the Charlotte/SODA hashes moved with the timing.
+   The liveness column is "-" throughout: duplicate and mix are
+   windowless plans, so the recovery judge is vacuous here. *)
 let golden_chaos_table =
-  "case                                     ok     events             verdict\n\
-   move/charlotte/2/duplicate               false  f1d4b8ba3f2bfa77  pass\n\
-   move/charlotte/2/mix                     false  eee2cc5d5b149f63  pass\n\
-   move/soda/2/duplicate                    true   d666c291fdc324a4  pass\n\
-   move/soda/2/mix                          true   067d43d0064d3eb8  pass\n\
-   move/chrysalis/2/duplicate               true   038e238703c788e9  pass\n\
-   move/chrysalis/2/mix                     false  105144786418775b  pass\n\
-   cross-request/charlotte/2/duplicate      false  244affd792588f47  pass\n\
-   cross-request/charlotte/2/mix            false  e940166e69cb063b  pass\n\
-   cross-request/soda/2/duplicate           false  00fc94f651766272  pass\n\
-   cross-request/soda/2/mix                 false  e88d94721b9d24c7  pass\n\
-   cross-request/chrysalis/2/duplicate      false  dcfe1c5c4b30a0c8  pass\n\
-   cross-request/chrysalis/2/mix            false  e64d19f8aac0a403  pass\n"
+  "case                                     ok     events             \
+   liveness       verdict\n\
+   move/charlotte/2/duplicate               true   f01f93cb0f33d8e7  \
+   -              pass\n\
+   move/charlotte/2/mix                     true   c97ff84200aea4b4  \
+   -              pass\n\
+   move/soda/2/duplicate                    true   d666c291fdc324a4  \
+   -              pass\n\
+   move/soda/2/mix                          true   067d43d0064d3eb8  \
+   -              pass\n\
+   move/chrysalis/2/duplicate               true   038e238703c788e9  \
+   -              pass\n\
+   move/chrysalis/2/mix                     false  105144786418775b  \
+   -              pass\n\
+   cross-request/charlotte/2/duplicate      false  fdbe6bfa44a64148  \
+   -              pass\n\
+   cross-request/charlotte/2/mix            false  1662c12adbc6b6ef  \
+   -              pass\n\
+   cross-request/soda/2/duplicate           false  cc2a331adc1e2384  \
+   -              pass\n\
+   cross-request/soda/2/mix                 false  c36650601c3050b1  \
+   -              pass\n\
+   cross-request/chrysalis/2/duplicate      false  dcfe1c5c4b30a0c8  \
+   -              pass\n\
+   cross-request/chrysalis/2/mix            false  e64d19f8aac0a403  \
+   -              pass\n"
 
 let test_golden_explore () =
   let results = D.sweep ~jobs:2 ~seeds:[ 1; 2 ] () in
@@ -277,6 +337,8 @@ let golden_races_charlotte =
    lost-enclosure       clean\n\
    bounced-enclosure    clean\n\
    shard-rpc            clean\n\
+   ring-election        clean\n\
+   quorum               clean\n\
    hint-repair          n/a on charlotte\n\
    pair-pressure        n/a on charlotte\n"
 
@@ -288,6 +350,8 @@ let golden_races_soda =
    lost-enclosure       clean\n\
    bounced-enclosure    clean\n\
    shard-rpc            clean\n\
+   ring-election        clean\n\
+   quorum               clean\n\
    hint-repair          clean\n\
    pair-pressure        clean\n"
 

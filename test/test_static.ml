@@ -234,6 +234,7 @@ let synthetic_artifact ~scenario ~rule =
     ok = true;
     violations = [];
     races = [ { R.r_rule = rule; r_obj = "synth.obj"; r_detail = "synthetic" } ];
+    liveness = Run.Liveness.Vacuous;
     detail = "synthetic";
     duration = Sim.Time.zero;
     counters = [];
@@ -305,9 +306,9 @@ let test_soundness_product () =
     Run.execute_many ~jobs product_specs |> List.filter_map Fun.id
   in
   let a1 = artifacts 1 in
-  (* 7 cross-backend scenarios x 3 backends + 2 SODA-only, x 2 seeds x
+  (* 9 cross-backend scenarios x 3 backends + 2 SODA-only, x 2 seeds x
      (clean + screen + 6 fault plans). *)
-  checki "product size" ((7 * 3 + 2) * 2 * 8) (List.length a1);
+  checki "product size" ((9 * 3 + 2) * 2 * 8) (List.length a1);
   Alcotest.(check (list string))
     "no soundness gaps at -j1" []
     (List.map gap_str (Run.Soundness.check a1));

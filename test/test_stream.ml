@@ -77,7 +77,7 @@ module Batch = struct
       (fun pos (ev : Event.t) ->
         let fid = ev.Event.ev_fiber and clk = ev.Event.ev_clock in
         match ev.Event.ev_kind with
-        | Event.Send { obj; op } ->
+        | Event.Send { obj; op; _ } ->
           let s = slot obj in
           s.a_sends <- (pos, fid, op, clk) :: s.a_sends
         | Event.Receive { obj; _ } ->
@@ -293,7 +293,7 @@ let build_events nfibers steps =
       let obj = queue_objs.(k mod Array.length queue_objs) in
       let kind =
         match k mod 8 with
-        | 0 -> Event.Send { obj; op = "op" ^ string_of_int (k mod 3) }
+        | 0 -> Event.Send { obj; op = "op" ^ string_of_int (k mod 3); unordered = false }
         | 1 -> Event.Receive { obj; op = "op" }
         | 2 -> Event.Signal { obj; woke = false }
         | 3 -> Event.Signal { obj; woke = true }
