@@ -10,6 +10,7 @@
      lint      static protocol linter
      static    may-race / may-deadlock prediction, soundness-gated sweep
      races     happens-before race detector replay
+     workload  population-scale topologies with latency percentiles
      repro     re-run any spec string and dump its full artifact
      memsmoke  bounded-retention equivalence smoke (ring buffer vs full log)
      backends  list available backends
@@ -139,7 +140,7 @@ let scenario_cmd =
         S.enclosure_protocol ~seed ~n_encl:encl (module W)
       else
         S.run sc ~seed ~policy:Sim.Engine.Fifo ~legacy_trace:true ~shards
-          (module W)
+          ~population:None (module W)
     in
     Printf.printf "%s: %s (%.2f ms simulated)\n" W.name
       (if o.S.o_ok then "ok" else "FAILED")
@@ -743,6 +744,147 @@ let races_cmd =
       const run $ backend_arg $ scenario_filter $ seed_arg $ jobs_arg
       $ json_arg)
 
+(* ---- workload: population-scale topologies with latency percentiles ------- *)
+
+let workload_cmd =
+  let population_arg =
+    let doc =
+      "Simulated client population; accepts the spec suffix forms \
+       $(i,100K) and $(i,1M) as well as plain integers.  Default: the \
+       workload default (a handful of cells, smoke-sized)."
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "n"; "population" ] ~docv:"N" ~doc)
+  in
+  let shards_arg =
+    let doc =
+      "Partition each run across $(docv) domains (conservative-window \
+       PDES).  Results are byte-identical at every value."
+    in
+    Arg.(value & opt int 1 & info [ "shards" ] ~docv:"K" ~doc)
+  in
+  let log_capacity_arg =
+    let doc =
+      "Retain only the last $(docv) structured events per shard.  \
+       Population runs emit millions of events; the judged artifact is \
+       identical at any capacity, so large populations should always \
+       bound the log."
+    in
+    Arg.(value & opt (some int) None & info [ "log-capacity" ] ~docv:"N" ~doc)
+  in
+  let run scenario_filter backend_filter population seed shards log_capacity
+      jobs json =
+    let wl_names =
+      List.filter
+        (fun n ->
+          match S.find n with
+          | Some sc -> sc.S.sc_parameterised
+          | None -> false)
+        S.names
+    in
+    let scenarios = resolve_filter "scenario" scenario_filter wl_names in
+    let backends = resolve_filter "backend" backend_filter BW.names in
+    let population =
+      match population with
+      | None -> None
+      | Some s -> (
+        match Run.Spec.population_of_string s with
+        | Some n -> Some n
+        | None ->
+          Printf.eprintf "bad population %S (want e.g. 96, 100K or 1M)\n" s;
+          exit 2)
+    in
+    let specs =
+      List.concat_map
+        (fun scenario ->
+          List.map
+            (fun backend ->
+              Run.Spec.v ~policy:Run.Spec.Fifo ?population ~shards ~scenario
+                ~backend seed)
+            backends)
+        scenarios
+    in
+    List.iter
+      (fun spec ->
+        match Run.check spec with
+        | Ok () -> ()
+        | Error msg ->
+          prerr_endline msg;
+          exit 2)
+      specs;
+    if json then begin
+      let artifacts =
+        List.filter_map Fun.id (Run.execute_many ~jobs ?log_capacity specs)
+      in
+      print_string (Run.Artifact.list_to_json artifacts);
+      if List.exists Run.Artifact.strict_failed artifacts then exit 1
+    end
+    else begin
+      let artifacts =
+        List.filter_map Fun.id (Run.execute_many ~jobs ?log_capacity specs)
+      in
+      Printf.printf
+        "workload: %d runs (%d scenarios x %d backends, population %s)\n\n"
+        (List.length artifacts) (List.length scenarios)
+        (List.length backends)
+        (match population with
+        | Some n -> Run.Spec.population_to_string n
+        | None -> Printf.sprintf "%d (default)" Harness.Workload.default_population);
+      let module A = Run.Artifact in
+      let module H = Sim.Stats.Histogram in
+      Metrics.Report.table
+        ~header:
+          [ "spec"; "ok"; "requests"; "req/s"; "p50"; "p99"; "p999"; "max" ]
+        (List.map
+           (fun (a : A.t) ->
+             let spec = Run.Spec.to_string a.A.spec in
+             match a.A.latency with
+             | None -> [ spec; string_of_bool a.A.ok; "-"; "-"; "-"; "-"; "-"; "-" ]
+             | Some s ->
+               let secs = Sim.Time.to_sec a.A.duration in
+               [
+                 spec;
+                 string_of_bool a.A.ok;
+                 string_of_int s.H.h_count;
+                 (if secs > 0. then
+                    Printf.sprintf "%.0f" (float_of_int s.H.h_count /. secs)
+                  else "-");
+                 Metrics.Report.ms (Sim.Time.to_ms s.H.h_p50);
+                 Metrics.Report.ms (Sim.Time.to_ms s.H.h_p99);
+                 Metrics.Report.ms (Sim.Time.to_ms s.H.h_p999);
+                 Metrics.Report.ms (Sim.Time.to_ms s.H.h_max);
+               ])
+           artifacts);
+      print_newline ();
+      print_endline
+        "every row is a repro handle: lynx_sim repro \"<spec>\" re-runs it \
+         (add --shards K to check shard invariance).";
+      if List.exists A.strict_failed artifacts then begin
+        List.iter
+          (fun (a : A.t) ->
+            if A.strict_failed a then
+              Printf.printf "FAILED %s: %s\n"
+                (Run.Spec.to_string a.A.spec)
+                a.A.detail)
+          artifacts;
+        exit 1
+      end
+    end
+  in
+  Cmd.v
+    (Cmd.info "workload"
+       ~doc:
+         "Run the population-scale workloads (client/server farm, ring, \
+          tree; open- and closed-loop client populations) and report \
+          throughput and latency percentiles per backend from bounded \
+          log-bucketed histograms.  Populations accept K/M suffixes \
+          (-n 100K); runs are deterministic at every -j and --shards.")
+    Term.(
+      const run $ scenario_filter $ backend_filter $ population_arg
+      $ seed_arg $ shards_arg $ log_capacity_arg $ jobs_arg $ json_arg)
+
 (* ---- repro: re-run any spec and dump its artifact -------------------------- *)
 
 let repro_cmd =
@@ -785,6 +927,11 @@ let repro_cmd =
         prerr_endline msg;
         exit 2
     in
+    (match Run.check spec with
+    | Ok () -> ()
+    | Error msg ->
+      prerr_endline msg;
+      exit 2);
     (* The text dump wants the legacy trace tail; JSON consumers do not
        (the trace is a rendering of the events the hash already covers). *)
     let exec_spec =
@@ -1046,6 +1193,7 @@ let () =
             lint_cmd;
             static_cmd;
             races_cmd;
+            workload_cmd;
             repro_cmd;
             memsmoke_cmd;
             backends_cmd;

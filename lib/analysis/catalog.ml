@@ -444,6 +444,151 @@ let shard_rpc =
              ]));
   }
 
+(* ---- workload protocols: one representative cell each.
+
+   The population workloads tile these cells horizontally, so the
+   static story of the whole run is the static story of one cell.
+   Every link end carries exactly one call item (single-sender by
+   construction — no S-MSG), no signals or moves, and every thread's
+   entries precede its calls, so the wait-for graph is acyclic under
+   both quantifiers (no DLK01/S-DLK) — the workloads are statically
+   clean, matching their dynamically race-free runs. *)
+
+(* One farm cell: [n] clients calling one server thread, each over its
+   own link. *)
+let wl_farm_cell name =
+  let n = 3 in
+  let lk j = (Printf.sprintf "cli%d.l" j, Printf.sprintf "srv.c%d" j) in
+  {
+    p_name = name;
+    p_links = List.init n lk;
+    p_items =
+      List.init n (fun j ->
+          Entry
+            {
+              thread = "srv";
+              endpoint = snd (lk j);
+              op = None;
+              sg = None;
+              mode = Await;
+            })
+      @ List.init n (fun j ->
+            Call
+              {
+                thread = Printf.sprintf "cli%d" j;
+                endpoint = fst (lk j);
+                op = "wl.req";
+                args = [ Lynx.Ty.Str ];
+                results = [ Lynx.Ty.Int ];
+              });
+  }
+
+let wl_farm = wl_farm_cell "wl-farm"
+
+(* The open-loop farm runs the same topology under a different client
+   population; the protocol shape is identical. *)
+let wl_farm_open = wl_farm_cell "wl-farm-open"
+
+(* One ring cell: clients enter at a relay, requests are forwarded
+   store-and-forward around the ring.  All entries precede all calls,
+   so the ring of forwards carries no static wait cycle. *)
+let wl_ring =
+  let relays = 4 and clients = 2 in
+  let rly r = Printf.sprintf "rly%d" r in
+  let fwd r =
+    (Printf.sprintf "rly%d.next" r, Printf.sprintf "rly%d.prev" ((r + 1) mod relays))
+  in
+  let cl j = (Printf.sprintf "cli%d.l" j, Printf.sprintf "rly%d.in%d" (j mod relays) j) in
+  {
+    p_name = "wl-ring";
+    p_links = List.init relays fwd @ List.init clients cl;
+    p_items =
+      List.init relays (fun r ->
+          Entry
+            {
+              thread = rly r;
+              endpoint = Printf.sprintf "rly%d.prev" r;
+              op = None;
+              sg = None;
+              mode = Await;
+            })
+      @ List.init clients (fun j ->
+            Entry
+              {
+                thread = rly (j mod relays);
+                endpoint = snd (cl j);
+                op = None;
+                sg = None;
+                mode = Await;
+              })
+      @ List.init clients (fun j ->
+            Call
+              {
+                thread = Printf.sprintf "cli%d" j;
+                endpoint = fst (cl j);
+                op = "wl.req";
+                args = [ Lynx.Ty.Str ];
+                results = [ Lynx.Ty.Int ];
+              })
+      @ List.init relays (fun r ->
+            Call
+              {
+                thread = rly r;
+                endpoint = fst (fwd r);
+                op = "wl.fwd";
+                args = [ Lynx.Ty.Str ];
+                results = [];
+              });
+  }
+
+(* One tree cell: clients call the root, which scatter-gathers over its
+   leaves.  The root's entries precede its leaf calls. *)
+let wl_tree =
+  let leaves = 2 and clients = 2 in
+  let cl j = (Printf.sprintf "cli%d.l" j, Printf.sprintf "root.c%d" j) in
+  let lf i = (Printf.sprintf "root.s%d" i, Printf.sprintf "leaf%d.l" i) in
+  {
+    p_name = "wl-tree";
+    p_links = List.init clients cl @ List.init leaves lf;
+    p_items =
+      List.init clients (fun j ->
+          Entry
+            {
+              thread = "root";
+              endpoint = snd (cl j);
+              op = None;
+              sg = None;
+              mode = Await;
+            })
+      @ List.init leaves (fun i ->
+            Entry
+              {
+                thread = Printf.sprintf "leaf%d" i;
+                endpoint = snd (lf i);
+                op = None;
+                sg = None;
+                mode = Await;
+              })
+      @ List.init clients (fun j ->
+            Call
+              {
+                thread = Printf.sprintf "cli%d" j;
+                endpoint = fst (cl j);
+                op = "wl.req";
+                args = [ Lynx.Ty.Str ];
+                results = [ Lynx.Ty.Int ];
+              })
+      @ List.init leaves (fun i ->
+            Call
+              {
+                thread = "root";
+                endpoint = fst (lf i);
+                op = "wl.sub";
+                args = [ Lynx.Ty.Str ];
+                results = [ Lynx.Ty.Int ];
+              });
+  }
+
 let all =
   [
     ("move", move);
@@ -455,6 +600,10 @@ let all =
     ("shard-rpc", shard_rpc);
     ("ring-election", ring_election);
     ("quorum", quorum);
+    ("wl-farm", wl_farm);
+    ("wl-farm-open", wl_farm_open);
+    ("wl-ring", wl_ring);
+    ("wl-tree", wl_tree);
     ("hint-repair", hint_repair);
     ("pair-pressure", pair_pressure);
   ]

@@ -14,7 +14,12 @@ open Sim
    nothing on the per-event path beyond what [Races.feed] retains: the
    last-event fields are plain mutable slots (the kind is a pointer
    into the event itself) and labels are rendered only at [finish] or
-   when the first regression is recorded. *)
+   when the first regression is recorded.
+
+   Nothing here may cost O(fibers) per event: a population run streams
+   millions of events from hundreds of thousands of fibers, and any
+   per-event walk over global state (a stream-wide vector clock, say)
+   turns the whole pipeline quadratic. *)
 
 type t = {
   races : Races.state;
@@ -26,7 +31,6 @@ type t = {
   mutable last_kind : Event.kind;
   mutable backwards : (Time.t * string * Time.t) option;
       (* first regression: time, label, previous time *)
-  mutable frontier : Vclock.t;
 }
 
 type summary = {
@@ -36,7 +40,6 @@ type summary = {
   s_drops : int;
   s_last : (Time.t * string) option;  (* last event: time, label *)
   s_backwards : (Time.t * string * Time.t) option;
-  s_frontier : Vclock.t;
   s_races : Races.finding list;
 }
 
@@ -50,7 +53,6 @@ let init () =
     last_time = Time.zero;
     last_kind = Event.Note "";
     backwards = None;
-    frontier = Vclock.empty;
   }
 
 let feed (ev : Event.t) t =
@@ -67,7 +69,6 @@ let feed (ev : Event.t) t =
   t.n_events <- t.n_events + 1;
   t.last_time <- time;
   t.last_kind <- ev.Event.ev_kind;
-  t.frontier <- Vclock.merge t.frontier ev.Event.ev_clock;
   t
 
 let finish t =
@@ -80,7 +81,6 @@ let finish t =
       (if t.n_events = 0 then None
        else Some (t.last_time, Event.kind_to_string t.last_kind));
     s_backwards = t.backwards;
-    s_frontier = t.frontier;
     s_races = Races.findings t.races;
   }
 

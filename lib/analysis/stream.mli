@@ -32,9 +32,6 @@ type summary = {
       (** last event's time and kind label, [None] on an empty stream *)
   s_backwards : (Sim.Time.t * string * Sim.Time.t) option;
       (** first timestamp regression: time, kind label, previous time *)
-  s_frontier : Sim.Vclock.t;
-      (** pointwise-max vector clock over the stream — the causal
-          frontier of the run *)
   s_races : Races.finding list;
 }
 

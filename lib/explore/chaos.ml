@@ -53,6 +53,7 @@ let spec c =
     seed = c.h_seed;
     policy = Run.Spec.Fifo;
     plan = Some c.h_plan;
+    population = None;
     shards = 1;
     legacy_trace = false;
   }

@@ -38,6 +38,7 @@ let spec ?(legacy_trace = false) c =
     seed = c.c_seed;
     policy = c.c_policy;
     plan = None;
+    population = None;
     shards = 1;
     legacy_trace;
   }

@@ -14,6 +14,8 @@ type outcome = {
   o_detail : string;
   o_seed : int;
   o_policy : string;  (** scheduling policy name, e.g. "fifo" *)
+  o_latency : Stats.Histogram.summary option;
+      (** reply-latency summary (workload scenarios; [None] elsewhere) *)
   o_view : Engine.view;  (** engine state at the end, for invariant checks *)
 }
 
@@ -21,8 +23,8 @@ let counter o name_ = try List.assoc name_ o.o_counters with Not_found -> 0
 
 (* Every scenario ends the same way: diff the counters, time the run and
    snapshot the engine for the invariant checkers. *)
-let finish ?duration ~seed ~eng ~sts ~before ?(t0 = ref Time.zero) ~ok ~detail
-    () =
+let finish ?duration ?latency ~seed ~eng ~sts ~before ?(t0 = ref Time.zero) ~ok
+    ~detail () =
   {
     o_ok = ok;
     o_duration =
@@ -33,6 +35,7 @@ let finish ?duration ~seed ~eng ~sts ~before ?(t0 = ref Time.zero) ~ok ~detail
     o_detail = detail;
     o_seed = seed;
     o_policy = Engine.policy_name (Engine.policy eng);
+    o_latency = latency;
     o_view = Engine.view eng;
   }
 
@@ -553,11 +556,15 @@ let soda_pair_pressure ?(seed = 42) ?policy ?legacy_trace ?(budget = true) ?(n_l
 type registered = {
   sc_name : string;
   sc_applies_to : backend -> bool;
+  sc_parameterised : bool;
+      (* accepts a population (the spec's ~nN axis)?  Only the workload
+         scenarios do; Exec.check rejects a population elsewhere. *)
   sc_run :
     seed:int ->
     policy:Engine.policy ->
     legacy_trace:bool ->
     shards:int ->
+    population:int option ->
     backend ->
     outcome;
   sc_recovery_deadline : Time.t option;
@@ -575,56 +582,63 @@ let registry =
     {
       sc_name = "move";
       sc_applies_to = every_backend;
+      sc_parameterised = false;
       sc_run =
-        (fun ~seed ~policy ~legacy_trace ~shards:_ w ->
+        (fun ~seed ~policy ~legacy_trace ~shards:_ ~population:_ w ->
           simultaneous_move ~seed ~policy ~legacy_trace w);
       sc_recovery_deadline = None;
     };
     {
       sc_name = "enclosures";
       sc_applies_to = every_backend;
+      sc_parameterised = false;
       sc_run =
-        (fun ~seed ~policy ~legacy_trace ~shards:_ w ->
+        (fun ~seed ~policy ~legacy_trace ~shards:_ ~population:_ w ->
           enclosure_protocol ~seed ~policy ~legacy_trace ~n_encl:3 w);
       sc_recovery_deadline = None;
     };
     {
       sc_name = "cross-request";
       sc_applies_to = every_backend;
+      sc_parameterised = false;
       sc_run =
-        (fun ~seed ~policy ~legacy_trace ~shards:_ w ->
+        (fun ~seed ~policy ~legacy_trace ~shards:_ ~population:_ w ->
           cross_request ~seed ~policy ~legacy_trace w);
       sc_recovery_deadline = None;
     };
     {
       sc_name = "open-close";
       sc_applies_to = every_backend;
+      sc_parameterised = false;
       sc_run =
-        (fun ~seed ~policy ~legacy_trace ~shards:_ w ->
+        (fun ~seed ~policy ~legacy_trace ~shards:_ ~population:_ w ->
           open_close_race ~seed ~policy ~legacy_trace w);
       sc_recovery_deadline = None;
     };
     {
       sc_name = "lost-enclosure";
       sc_applies_to = every_backend;
+      sc_parameterised = false;
       sc_run =
-        (fun ~seed ~policy ~legacy_trace ~shards:_ w ->
+        (fun ~seed ~policy ~legacy_trace ~shards:_ ~population:_ w ->
           lost_enclosure ~seed ~policy ~legacy_trace w);
       sc_recovery_deadline = None;
     };
     {
       sc_name = "bounced-enclosure";
       sc_applies_to = every_backend;
+      sc_parameterised = false;
       sc_run =
-        (fun ~seed ~policy ~legacy_trace ~shards:_ w ->
+        (fun ~seed ~policy ~legacy_trace ~shards:_ ~population:_ w ->
           bounced_enclosure ~seed ~policy ~legacy_trace w);
       sc_recovery_deadline = None;
     };
     {
       sc_name = "shard-rpc";
       sc_applies_to = every_backend;
+      sc_parameterised = false;
       sc_run =
-        (fun ~seed ~policy ~legacy_trace ~shards w ->
+        (fun ~seed ~policy ~legacy_trace ~shards ~population:_ w ->
           (* Priced by the backend's kernel cost table; the engine
              policy kind is reinterpreted at the shard barriers, so we
              pass it through unchanged. *)
@@ -636,6 +650,7 @@ let registry =
             o_detail = r.Shard_rpc.r_detail;
             o_seed = seed;
             o_policy = Engine.policy_name policy;
+            o_latency = None;
             o_view = r.Shard_rpc.r_view;
           });
       sc_recovery_deadline = None;
@@ -643,8 +658,9 @@ let registry =
     {
       sc_name = "ring-election";
       sc_applies_to = every_backend;
+      sc_parameterised = false;
       sc_run =
-        (fun ~seed ~policy ~legacy_trace ~shards:_ w ->
+        (fun ~seed ~policy ~legacy_trace ~shards:_ ~population:_ w ->
           let r = Election.run ~seed ~policy ~legacy_trace w in
           {
             o_ok = r.Election.r_ok;
@@ -653,6 +669,7 @@ let registry =
             o_detail = r.Election.r_detail;
             o_seed = seed;
             o_policy = Engine.policy_name policy;
+            o_latency = None;
             o_view = r.Election.r_view;
           });
       sc_recovery_deadline = Some Election.deadline;
@@ -660,8 +677,9 @@ let registry =
     {
       sc_name = "quorum";
       sc_applies_to = every_backend;
+      sc_parameterised = false;
       sc_run =
-        (fun ~seed ~policy ~legacy_trace ~shards:_ w ->
+        (fun ~seed ~policy ~legacy_trace ~shards:_ ~population:_ w ->
           let r = Quorum.run ~seed ~policy ~legacy_trace w in
           {
             o_ok = r.Quorum.r_ok;
@@ -670,23 +688,66 @@ let registry =
             o_detail = r.Quorum.r_detail;
             o_seed = seed;
             o_policy = Engine.policy_name policy;
+            o_latency = None;
             o_view = r.Quorum.r_view;
           });
       sc_recovery_deadline = Some Quorum.deadline;
     };
+  ]
+  (* Parameterised workload scenarios: population-scale topologies over
+     the shard engine, priced by the backend cost tables.  The
+     population is the spec's ~nN axis; with no axis they run at
+     Workload.default_population so the default sweeps stay fast. *)
+  @ (let wl name topology load =
+       {
+         sc_name = name;
+         sc_applies_to = every_backend;
+         sc_parameterised = true;
+         sc_run =
+           (fun ~seed ~policy ~legacy_trace ~shards ~population w ->
+             let population =
+               Option.value ~default:Workload.default_population population
+             in
+             let r =
+               Workload.run ~seed ~policy ~legacy_trace ~shards ~topology ~load
+                 ~population w
+             in
+             {
+               o_ok = r.Workload.r_ok;
+               o_duration = r.Workload.r_duration;
+               o_counters = r.Workload.r_counters;
+               o_detail = r.Workload.r_detail;
+               o_seed = seed;
+               o_policy = Engine.policy_name policy;
+               o_latency = r.Workload.r_latency;
+               o_view = r.Workload.r_view;
+             });
+         sc_recovery_deadline = None;
+       }
+     in
+     [
+       wl "wl-farm" Workload.Farm (Workload.default_load Workload.Farm);
+       wl "wl-farm-open" Workload.Farm
+         (Workload.Open { window = Workload.default_window });
+       wl "wl-ring" Workload.Ring (Workload.default_load Workload.Ring);
+       wl "wl-tree" Workload.Tree (Workload.default_load Workload.Tree);
+     ])
+  @ [
     {
       sc_name = "hint-repair";
       sc_applies_to = soda_only;
+      sc_parameterised = false;
       sc_run =
-        (fun ~seed ~policy ~legacy_trace ~shards:_ _ ->
+        (fun ~seed ~policy ~legacy_trace ~shards:_ ~population:_ _ ->
           soda_hint_repair ~seed ~policy ~legacy_trace ());
       sc_recovery_deadline = None;
     };
     {
       sc_name = "pair-pressure";
       sc_applies_to = soda_only;
+      sc_parameterised = false;
       sc_run =
-        (fun ~seed ~policy ~legacy_trace ~shards:_ _ ->
+        (fun ~seed ~policy ~legacy_trace ~shards:_ ~population:_ _ ->
           soda_pair_pressure ~seed ~policy ~legacy_trace ());
       sc_recovery_deadline = None;
     };
@@ -696,5 +757,5 @@ let names = List.map (fun r -> r.sc_name) registry
 let find name_ = List.find_opt (fun r -> String.equal r.sc_name name_) registry
 let applies r b = r.sc_applies_to b
 
-let run r ~seed ~policy ~legacy_trace ~shards b =
-  r.sc_run ~seed ~policy ~legacy_trace ~shards b
+let run r ~seed ~policy ~legacy_trace ~shards ~population b =
+  r.sc_run ~seed ~policy ~legacy_trace ~shards ~population b

@@ -13,6 +13,9 @@ type outcome = {
   o_detail : string;  (** human-readable summary of what happened *)
   o_seed : int;  (** the seed the scenario ran under *)
   o_policy : string;  (** scheduling policy name, e.g. "fifo" *)
+  o_latency : Sim.Stats.Histogram.summary option;
+      (** merged reply-latency summary, reported by the parameterised
+          workload scenarios; [None] for the vignettes *)
   o_view : Sim.Engine.view;
       (** engine state at the end of the run, for invariant checking *)
 }
@@ -121,18 +124,26 @@ type registered = {
   sc_applies_to : backend -> bool;
       (** which backends the scenario runs on; SODA-specific scenarios
           (["hint-repair"], ["pair-pressure"]) apply only to SODA *)
+  sc_parameterised : bool;
+      (** accepts a population — the spec's [~nN] axis.  Only the
+          workload scenarios (["wl-farm"], ["wl-farm-open"],
+          ["wl-ring"], ["wl-tree"]) do; {!Exec.check} rejects a
+          population on any other scenario. *)
   sc_run :
     seed:int ->
     policy:Sim.Engine.policy ->
     legacy_trace:bool ->
     shards:int ->
+    population:int option ->
     backend ->
     outcome;
       (** [shards] partitions the simulation across domains via
-          {!Sim.Shard}.  Only shard-aware scenarios (["shard-rpc"])
-          actually fan out; the single-engine vignettes ignore it —
-          either way the outcome is byte-identical at every value, so
-          the axis never changes a verdict. *)
+          {!Sim.Shard}.  Only shard-aware scenarios (["shard-rpc"] and
+          the workloads) actually fan out; the single-engine vignettes
+          ignore it — either way the outcome is byte-identical at every
+          value, so the axis never changes a verdict.  [population]
+          sizes parameterised scenarios ([None]: the scenario default);
+          non-parameterised scenarios ignore it. *)
   sc_recovery_deadline : Sim.Time.t option;
       (** for fault-tolerant scenarios: the virtual-time budget, counted
           from the fault plan's {!Faults.Plan.window_close}, within
@@ -153,5 +164,6 @@ val run :
   policy:Sim.Engine.policy ->
   legacy_trace:bool ->
   shards:int ->
+  population:int option ->
   backend ->
   outcome

@@ -12,6 +12,15 @@
     reliable in-order delivery — so the scenario is fault-inert (chaos
     plans change nothing, by design). *)
 
+val cost_model : Backend_world.backend -> Sim.Time.t * Sim.Time.t
+(** [(lookahead, per_byte)] from the backend's kernel cost table — the
+    conservative minimum cross-node latency and the per-byte transfer
+    term.  Shared with {!Workload}. *)
+
+val checksum : key:int -> size:int -> spin:int -> int
+(** The deterministic per-request CPU burn (pure int arithmetic over
+    [size * spin] steps). *)
+
 type result = {
   r_ok : bool;  (** every rpc completed with a verified checksum *)
   r_duration : Sim.Time.t;  (** virtual time at quiescence *)

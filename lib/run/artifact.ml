@@ -8,6 +8,7 @@ type t = {
   duration : Sim.Time.t;
   counters : (string * int) list;
   events_hash : int64;
+  latency : Sim.Stats.Histogram.summary option;
 }
 
 let anomalous a = a.violations <> [] || Liveness.missed a.liveness
@@ -78,6 +79,28 @@ let add_body buf ~indent a =
         a.races);
   field "liveness" (fun () ->
       pr "\"%s\"" (escape (Liveness.to_string a.liveness)));
+  (* Reply-latency summary (workload scenarios only).  Omitted when
+     absent so pre-workload artifact dumps stay byte-identical. *)
+  (match a.latency with
+  | None -> ()
+  | Some s ->
+    let open Sim.Stats.Histogram in
+    let throughput =
+      if Sim.Time.to_sec a.duration > 0. then
+        float_of_int s.h_count /. Sim.Time.to_sec a.duration
+      else 0.
+    in
+    field "latency" (fun () ->
+        pr "{\n";
+        pr "%s  \"count\": %d,\n" indent s.h_count;
+        pr "%s  \"throughput_rps\": %.1f,\n" indent throughput;
+        pr "%s  \"mean_us\": %.3f,\n" indent (Sim.Time.to_us s.h_mean);
+        pr "%s  \"min_us\": %.3f,\n" indent (Sim.Time.to_us s.h_min);
+        pr "%s  \"p50_us\": %.3f,\n" indent (Sim.Time.to_us s.h_p50);
+        pr "%s  \"p99_us\": %.3f,\n" indent (Sim.Time.to_us s.h_p99);
+        pr "%s  \"p999_us\": %.3f,\n" indent (Sim.Time.to_us s.h_p999);
+        pr "%s  \"max_us\": %.3f\n" indent (Sim.Time.to_us s.h_max);
+        pr "%s}" indent));
   field "faults" (fun () ->
       (* The fault/screening/recovery counter slice, pre-filtered so CI
          scripts can diff the fault-tolerance story without knowing the

@@ -23,6 +23,11 @@ type t = {
   events_hash : int64;
       (** FNV fingerprint of the run's full event stream — the cheap
           determinism comparator *)
+  latency : Sim.Stats.Histogram.summary option;
+      (** merged reply-latency summary from workload scenarios; [None]
+          for the vignettes.  Rendered as a [latency] JSON object
+          (count, throughput_rps, mean/min/p50/p99/p999/max in µs),
+          omitted when absent so pre-workload dumps are unchanged. *)
 }
 
 val anomalous : t -> bool

@@ -15,20 +15,60 @@ let resolve (spec : Spec.t) =
   in
   (sc, backend)
 
+(* One-line reason why [spec] cannot run: unknown names, a backend the
+   scenario does not apply to, or a population axis on a scenario that
+   is not parameterised.  The CLIs ([repro], [workload]) call this
+   before executing so every bad spec exits 2 with the same shape of
+   message. *)
+let check (spec : Spec.t) =
+  match S.find spec.Spec.scenario with
+  | None ->
+    Error
+      (Printf.sprintf "unknown scenario %S (have: %s)" spec.Spec.scenario
+         (String.concat ", " S.names))
+  | Some sc -> begin
+    match BW.find spec.Spec.backend with
+    | None ->
+      Error
+        (Printf.sprintf "unknown backend %S (have: %s)" spec.Spec.backend
+           (String.concat ", " BW.names))
+    | Some backend ->
+      if not (S.applies sc backend) then
+        Error
+          (Printf.sprintf "scenario %s does not apply to backend %s"
+             spec.Spec.scenario spec.Spec.backend)
+      else if spec.Spec.population <> None && not sc.S.sc_parameterised then
+        Error
+          (Printf.sprintf
+             "scenario %s is not parameterised: population axis ~n%s does \
+              not apply"
+             spec.Spec.scenario
+             (Spec.population_to_string
+                (Option.value ~default:1 spec.Spec.population)))
+      else Ok ()
+  end
+
 let run_outcome (spec : Spec.t) =
   let sc, backend = resolve spec in
   if not (S.applies sc backend) then None
-  else
+  else begin
+    (match spec.Spec.population with
+    | Some p when not sc.S.sc_parameterised ->
+      invalid_arg
+        (Printf.sprintf "scenario %s is not parameterised (population %d)"
+           spec.Spec.scenario p)
+    | _ -> ());
     let run () =
       Some
         (S.run sc ~seed:spec.Spec.seed
            ~policy:(Spec.engine_policy spec.Spec.policy ~seed:spec.Spec.seed)
            ~legacy_trace:spec.Spec.legacy_trace ~shards:spec.Spec.shards
-           backend)
+           ~population:spec.Spec.population backend)
     in
     match spec.Spec.plan with
     | None -> run ()
     | Some plan -> Faults.with_plan (Spec.fault_plan plan) run
+  end
 
 (* The invariant suite judges a faulted run exactly as it judges a clean
    one — that is the point: faults may slow scenarios down or make them
@@ -62,6 +102,7 @@ let artifact (spec : Spec.t) (o : S.outcome) ~violations ~races =
     duration = o.S.o_duration;
     counters = o.S.o_counters;
     events_hash = o.S.o_view.Sim.Engine.v_events_hash;
+    latency = o.S.o_latency;
   }
 
 let judge (spec : Spec.t) (o : S.outcome) =
@@ -100,6 +141,7 @@ let aborted (spec : Spec.t) exn =
     duration = Sim.Time.zero;
     counters = [];
     events_hash = 0L;
+    latency = None;
   }
 
 (* The streaming pipeline: install an ambient engine observer for the

@@ -8,11 +8,19 @@
     [Explore.Chaos], the [races] command and [lynx_sim repro] are all
     thin plan-builders over this function. *)
 
+val check : Spec.t -> (unit, string) result
+(** Pre-flight applicability check with a one-line reason: unknown
+    scenario or backend, a backend the scenario does not apply to, or a
+    population ([~nN]) axis on a scenario that is not parameterised.
+    [lynx_sim repro] and [lynx_sim workload] call this first so every
+    bad spec exits 2 with a uniform message. *)
+
 val run_outcome : Spec.t -> Harness.Scenarios.outcome option
 (** Runs just the scenario, without judging it — [None] when the
     scenario does not apply to the backend (per its [applies_to]
     predicate).  Raises [Invalid_argument] on unknown scenario or
-    backend names. *)
+    backend names, or on a population axis on a non-parameterised
+    scenario (use {!check} to pre-flight). *)
 
 val judge : Spec.t -> Harness.Scenarios.outcome -> Artifact.t
 (** Judge an already-obtained outcome post-hoc, from its retained event

@@ -88,21 +88,51 @@ type t = {
   seed : int;
   policy : policy;
   plan : plan option;
+  population : int option;
   shards : int;
   legacy_trace : bool;
 }
 
-let v ?(policy = Fifo) ?plan ?(shards = 1) ?(legacy_trace = false) ~scenario
-    ~backend seed =
+let v ?(policy = Fifo) ?plan ?population ?(shards = 1) ?(legacy_trace = false)
+    ~scenario ~backend seed =
   if shards < 1 then invalid_arg "Spec.v: shards must be at least 1";
-  { scenario; backend; seed; policy; plan; shards; legacy_trace }
+  (match population with
+  | Some p when p < 1 -> invalid_arg "Spec.v: population must be at least 1"
+  | _ -> ());
+  { scenario; backend; seed; policy; plan; population; shards; legacy_trace }
+
+(* Populations print with K/M multipliers when they divide evenly
+   ("~n100K", "~n2M") and as plain digits otherwise ("~n1234"); the
+   parser accepts all three forms, so round/huge populations stay
+   readable in repro handles. *)
+let population_to_string p =
+  if p mod 1_000_000 = 0 then Printf.sprintf "%dM" (p / 1_000_000)
+  else if p mod 1_000 = 0 then Printf.sprintf "%dK" (p / 1_000)
+  else string_of_int p
+
+let population_of_string s =
+  let len = String.length s in
+  if len = 0 then None
+  else
+    let mult, digits =
+      match s.[len - 1] with
+      | 'K' -> (1_000, String.sub s 0 (len - 1))
+      | 'M' -> (1_000_000, String.sub s 0 (len - 1))
+      | _ -> (1, s)
+    in
+    match int_of_string_opt digits with
+    | Some n when n >= 1 -> Some (n * mult)
+    | _ -> None
 
 let trace_suffix = "~trace"
 
 let to_string s =
-  Printf.sprintf "%s/%s/%d/%s%s%s%s" s.scenario s.backend s.seed
+  Printf.sprintf "%s/%s/%d/%s%s%s%s%s" s.scenario s.backend s.seed
     (policy_name s.policy)
     (match s.plan with None -> "" | Some p -> "@" ^ plan_name p)
+    (match s.population with
+    | None -> ""
+    | Some p -> "~n" ^ population_to_string p)
     (if s.shards = 1 then "" else Printf.sprintf "~s%d" s.shards)
     (if s.legacy_trace then trace_suffix else "")
 
@@ -121,28 +151,51 @@ let of_string str =
             true )
         else (tail, false)
       in
-      (* The shard suffix sits between the plan and [~trace]:
-         policy[@plan][~sK][~trace]. *)
-      let shards_err = ref None in
-      let tail, shards =
+      (* The population and shard suffixes sit between the plan and
+         [~trace]: policy[@plan][~nN][~sK][~trace].  Each tag appears at
+         most once; stripping from the right accepts either order. *)
+      let suffix_err = ref None in
+      let rec strip tail shards population =
         match String.rindex_opt tail '~' with
-        | Some i
-          when i + 1 < String.length tail
-               && tail.[i + 1] = 's' -> begin
+        | Some i when i + 1 < String.length tail -> begin
           let num = String.sub tail (i + 2) (String.length tail - i - 2) in
-          match int_of_string_opt num with
-          | Some k when k >= 1 -> (String.sub tail 0 i, k)
-          | _ ->
-            shards_err := Some (Printf.sprintf "bad shard count %S" num);
-            (tail, 1)
+          let rest = String.sub tail 0 i in
+          match tail.[i + 1] with
+          | 's' when shards = None -> begin
+            match int_of_string_opt num with
+            | Some k when k >= 1 -> strip rest (Some k) population
+            | _ ->
+              suffix_err := Some (Printf.sprintf "bad shard count %S" num);
+              (tail, shards, population)
+          end
+          | 'n' when population = None -> begin
+            match population_of_string num with
+            | Some p -> strip rest shards (Some p)
+            | None ->
+              suffix_err := Some (Printf.sprintf "bad population %S" num);
+              (tail, shards, population)
+          end
+          | _ -> (tail, shards, population)
         end
-        | _ -> (tail, 1)
+        | _ -> (tail, shards, population)
       in
+      let tail, shards, population = strip tail None None in
+      let shards = Option.value ~default:1 shards in
       let finish policy plan =
-        match !shards_err with
+        match !suffix_err with
         | Some m -> err "%s in %S" m str
         | None ->
-          Ok { scenario; backend; seed; policy; plan; shards; legacy_trace }
+          Ok
+            {
+              scenario;
+              backend;
+              seed;
+              policy;
+              plan;
+              population;
+              shards;
+              legacy_trace;
+            }
       in
       begin
         match String.index_opt tail '@' with

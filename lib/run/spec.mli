@@ -7,7 +7,7 @@
     ambient fault plan.  A [Spec.t] names that run completely, and its
     canonical string form
 
-    {v scenario/backend/seed/policy[@plan][~sK][~trace] v}
+    {v scenario/backend/seed/policy[@plan][~nN][~sK][~trace] v}
 
     is the repro handle: any spec printed in a CLI table, CI log or
     test failure can be parsed back with {!of_string} and re-executed
@@ -65,6 +65,13 @@ type t = {
   seed : int;
   policy : policy;
   plan : plan option;  (** [None]: clean run, no ambient plan *)
+  population : int option;
+      (** simulated client population for parameterised workload
+          scenarios ([None]: the scenario's default size).  Printed as a
+          [~nN] suffix with K/M multipliers when they divide evenly
+          ([~n100K], [~n2M]), so a million-process run is a one-line
+          repro handle.  Rejected by {!Exec.check} on scenarios that are
+          not parameterised. *)
   shards : int;
       (** domains the simulation is partitioned across (default 1:
           ordinary single-engine run).  Sharded execution is
@@ -81,17 +88,27 @@ type t = {
 val v :
   ?policy:policy ->
   ?plan:plan ->
+  ?population:int ->
   ?shards:int ->
   ?legacy_trace:bool ->
   scenario:string ->
   backend:string ->
   int ->
   t
-(** [v ~scenario ~backend seed] with [Fifo], no plan, one shard, no
-    legacy trace.  Raises [Invalid_argument] if [shards < 1]. *)
+(** [v ~scenario ~backend seed] with [Fifo], no plan, default population,
+    one shard, no legacy trace.  Raises [Invalid_argument] if
+    [shards < 1] or [population < 1]. *)
+
+val population_to_string : int -> string
+(** ["100K"], ["2M"], ["1234"] — the [~n] suffix payload. *)
+
+val population_of_string : string -> int option
+(** Inverse of {!population_to_string}; also what [lynx_sim workload -n]
+    accepts.  [None] on empty/zero/negative/garbage. *)
 
 val to_string : t -> string
-(** The canonical ["scenario/backend/seed/policy[@plan][~sK][~trace]"]. *)
+(** The canonical
+    ["scenario/backend/seed/policy[@plan][~nN][~sK][~trace]"]. *)
 
 val of_string : string -> (t, string) result
 (** Inverse of {!to_string}: [of_string (to_string s) = Ok s] for every

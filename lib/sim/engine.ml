@@ -25,6 +25,10 @@ type t = {
   mutable next_fid : int;
   tasks : Taskq.t;
   mutable fibers : fiber list;
+  (* Fiber ids ever assigned, for the explicit-[?fid] duplicate check:
+     population runs spawn hundreds of thousands of pinned-id fibers,
+     and a list scan per spawn would make setup quadratic. *)
+  fids : (int, unit) Hashtbl.t;
   mutable current : fiber option;
   mutable stopped : bool;
   mutable crashes : (string * exn) list;
@@ -103,6 +107,7 @@ let create ?(seed = 42) ?(policy = Fifo) ?trace_capacity
       next_fid = 0;
       tasks = Taskq.create ();
       fibers = [];
+      fids = Hashtbl.create 64;
       current = None;
       stopped = false;
       crashes = [];
@@ -402,7 +407,7 @@ let spawn t ?fid ?(name = "fiber") ?(daemon = false) f =
     match fid with
     | Some fid ->
       if fid < 0 then invalid_arg "Engine.spawn: negative fid";
-      if List.exists (fun f -> f.fid = fid) t.fibers then
+      if Hashtbl.mem t.fids fid then
         invalid_arg (Printf.sprintf "Engine.spawn: fid %d already used" fid);
       t.next_fid <- max t.next_fid (fid + 1);
       fid
@@ -411,6 +416,7 @@ let spawn t ?fid ?(name = "fiber") ?(daemon = false) f =
       t.next_fid <- fid + 1;
       fid
   in
+  Hashtbl.replace t.fids fid ();
   emit t (Event.Spawn { fid; name });
   (* The child starts causally after the spawn event in its parent. *)
   let fiber =

@@ -172,6 +172,7 @@ let add_node t ?(daemon = false) ?name body =
 (* ---- node operations -------------------------------------------------- *)
 
 let self ctx = ctx.c_node.n_id
+let home ctx = ctx.c_node.n_shard
 let node_name ctx = ctx.c_node.n_name
 let now ctx = Engine.now ctx.c_eng
 let rng ctx = ctx.c_node.n_rng

@@ -88,6 +88,13 @@ val run : ?expect_quiescent:bool -> 'msg t -> unit
 (** {1 Node operations} — callable only from inside a node's fiber. *)
 
 val self : 'msg ctx -> int
+val home : 'msg ctx -> int
+(** The shard (domain) index this node is placed on ([node id mod
+    shards]).  Lets callers keep per-shard accumulators (e.g. one
+    {!Stats.Histogram} per shard, merged after the run) without
+    cross-domain writes: a node's fiber only ever runs on its home
+    shard's domain. *)
+
 val node_name : 'msg ctx -> string
 val now : 'msg ctx -> Time.t
 

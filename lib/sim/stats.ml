@@ -30,14 +30,29 @@ let pp ppf t =
   List.iter (fun (k, v) -> Format.fprintf ppf "%-40s %d@," k v) (to_list t);
   Format.pp_close_box ppf ()
 
-module Series = struct
-  type s = { mutable obs : Time.t list; mutable n : int }
+(* Shared nearest-rank index: the observation reported for quantile [p]
+   over [n] sorted observations.  Series and Histogram use the same
+   formula so the exact series doubles as the histogram's test oracle. *)
+let nearest_rank ~n p =
+  Stdlib.min (n - 1) (int_of_float (Float.round (p *. float_of_int (n - 1))))
 
-  let create () = { obs = []; n = 0 }
+module Series = struct
+  (* [obs] retains every observation (this module is the exact oracle —
+     use [Histogram] for bounded-memory summaries).  [sorted] caches the
+     sorted form so repeated [percentile] calls don't re-sort; any [add]
+     invalidates it. *)
+  type s = {
+    mutable obs : Time.t list;
+    mutable n : int;
+    mutable sorted : Time.t array option;
+  }
+
+  let create () = { obs = []; n = 0; sorted = None }
 
   let add s t =
     s.obs <- t :: s.obs;
-    s.n <- s.n + 1
+    s.n <- s.n + 1;
+    s.sorted <- None
 
   let count s = s.n
 
@@ -56,18 +71,150 @@ module Series = struct
     if s.n = 0 then fail_empty ();
     List.fold_left Time.max (List.hd s.obs) s.obs
 
+  let sorted s =
+    match s.sorted with
+    | Some a -> a
+    | None ->
+      let a = List.sort Time.compare s.obs |> Array.of_list in
+      s.sorted <- Some a;
+      a
+
   let percentile s p =
     if s.n = 0 then fail_empty ();
-    let sorted = List.sort Time.compare s.obs |> Array.of_list in
-    let rank =
-      Stdlib.min (Array.length sorted - 1)
-        (int_of_float (Float.round (p *. float_of_int (Array.length sorted - 1))))
-    in
-    sorted.(rank)
+    let sorted = sorted s in
+    sorted.(nearest_rank ~n:(Array.length sorted) p)
 
   let pp ppf s =
     if s.n = 0 then Format.fprintf ppf "(empty)"
     else
       Format.fprintf ppf "n=%d mean=%a min=%a max=%a" s.n Time.pp (mean s)
         Time.pp (min s) Time.pp (max s)
+end
+
+module Histogram = struct
+  (* Log-linear bucketing (HDR-style): values below 64 ns get exact
+     one-ns buckets; each octave [2^m, 2^{m+1}) above that is split into
+     64 linear sub-buckets, so the relative width of any bucket is at
+     most 1/64 (≈ 1.6%).  The bucket array is a fixed ≤3712-slot int
+     array regardless of how many observations are recorded, and merge
+     is bucket-wise addition — commutative and associative, so merged
+     summaries are independent of shard count and merge order. *)
+
+  let sub_bits = 6 (* 64 sub-buckets per octave *)
+  let subs = 1 lsl sub_bits
+  let max_octave = 62 (* Time.t is an int of ns; 62 covers max_int *)
+  let buckets = subs * (max_octave - sub_bits + 2) (* 3712 *)
+
+  type h = {
+    counts : int array;
+    mutable total : int;
+    mutable sum : int;
+    mutable lo : int; (* exact min, valid when total > 0 *)
+    mutable hi : int; (* exact max, valid when total > 0 *)
+  }
+
+  type summary = {
+    h_count : int;
+    h_mean : Time.t;
+    h_min : Time.t;
+    h_max : Time.t;
+    h_p50 : Time.t;
+    h_p99 : Time.t;
+    h_p999 : Time.t;
+  }
+
+  let create () =
+    { counts = Array.make buckets 0; total = 0; sum = 0; lo = 0; hi = 0 }
+
+  let msb v =
+    (* index of the highest set bit; v > 0 *)
+    let rec go v m = if v <= 1 then m else go (v lsr 1) (m + 1) in
+    go v 0
+
+  let index_of v =
+    if v < subs then v
+    else
+      let m = msb v in
+      let sub = (v lsr (m - sub_bits)) land (subs - 1) in
+      ((m - sub_bits + 1) * subs) + sub
+
+  (* Largest value mapping to bucket [i] — the reported representative,
+     so histogram quantiles never under-estimate the exact oracle. *)
+  let upper_of i =
+    if i < subs then i
+    else
+      let m = (i / subs) + sub_bits - 1 in
+      let sub = i land (subs - 1) in
+      let lower = (subs + sub) lsl (m - sub_bits) in
+      lower + (1 lsl (m - sub_bits)) - 1
+
+  let add h t =
+    let v = Time.to_ns t in
+    if v < 0 then invalid_arg "Stats.Histogram: negative observation";
+    let i = index_of v in
+    h.counts.(i) <- h.counts.(i) + 1;
+    h.sum <- h.sum + v;
+    if h.total = 0 then (
+      h.lo <- v;
+      h.hi <- v)
+    else (
+      if v < h.lo then h.lo <- v;
+      if v > h.hi then h.hi <- v);
+    h.total <- h.total + 1
+
+  let count h = h.total
+
+  let merge a b =
+    let h = create () in
+    Array.iteri (fun i c -> h.counts.(i) <- c + b.counts.(i)) a.counts;
+    h.total <- a.total + b.total;
+    h.sum <- a.sum + b.sum;
+    (if a.total = 0 then (
+       h.lo <- b.lo;
+       h.hi <- b.hi)
+     else if b.total = 0 then (
+       h.lo <- a.lo;
+       h.hi <- a.hi)
+     else (
+       h.lo <- Stdlib.min a.lo b.lo;
+       h.hi <- Stdlib.max a.hi b.hi));
+    h
+
+  let fail_empty () = invalid_arg "Stats.Histogram: empty histogram"
+  let mean h = if h.total = 0 then fail_empty () else Time.ns (h.sum / h.total)
+  let min h = if h.total = 0 then fail_empty () else Time.ns h.lo
+  let max h = if h.total = 0 then fail_empty () else Time.ns h.hi
+
+  let quantile h p =
+    if h.total = 0 then fail_empty ();
+    let rank = nearest_rank ~n:h.total p in
+    let i = ref 0 and cum = ref 0 in
+    while !cum + h.counts.(!i) <= rank do
+      cum := !cum + h.counts.(!i);
+      i := !i + 1
+    done;
+    (* Clamp to the exact extremes: the top bucket's upper bound can
+       overshoot the true max, and the bottom one undershoot nothing. *)
+    Time.ns (Stdlib.min (upper_of !i) h.hi)
+
+  let summary h =
+    if h.total = 0 then None
+    else
+      Some
+        {
+          h_count = h.total;
+          h_mean = mean h;
+          h_min = min h;
+          h_max = max h;
+          h_p50 = quantile h 0.5;
+          h_p99 = quantile h 0.99;
+          h_p999 = quantile h 0.999;
+        }
+
+  let pp ppf h =
+    if h.total = 0 then Format.fprintf ppf "(empty)"
+    else
+      Format.fprintf ppf "n=%d mean=%a p50=%a p99=%a p999=%a max=%a" h.total
+        Time.pp (mean h) Time.pp (quantile h 0.5) Time.pp (quantile h 0.99)
+        Time.pp (quantile h 0.999) Time.pp (max h)
 end

@@ -25,7 +25,11 @@ val diff : before:(string * int) list -> after:(string * int) list -> (string * 
 val pp : Format.formatter -> t -> unit
 
 module Series : sig
-  (** Accumulates observations (virtual durations) for summary stats. *)
+  (** Accumulates every observation (virtual durations) for exact summary
+      stats.  Memory is O(observations) by design — this is the exact
+      nearest-rank oracle the bounded {!Histogram} is tested against; use
+      the histogram for population-scale runs.  The sorted form is cached
+      across [percentile] calls and invalidated by [add]. *)
 
   type s
 
@@ -39,4 +43,50 @@ module Series : sig
   (** [percentile s 0.99]; nearest-rank on the sorted observations. *)
 
   val pp : Format.formatter -> s -> unit
+end
+
+module Histogram : sig
+  (** Bounded log-bucketed latency histogram (HDR-style).
+
+      Values below 64 ns are bucketed exactly; above that each power-of-two
+      octave is split into 64 linear sub-buckets, so any reported quantile
+      is at most one bucket width (≤ 1/64 ≈ 1.6%) above the exact
+      nearest-rank value and never below it.  Count, sum, min and max are
+      exact.  State is a fixed ~3.7k-slot int array however many
+      observations are added, and [merge] is bucket-wise addition —
+      commutative and associative, so results are independent of how a
+      population was partitioned across shards or domains. *)
+
+  type h
+
+  type summary = {
+    h_count : int;
+    h_mean : Time.t;
+    h_min : Time.t;
+    h_max : Time.t;
+    h_p50 : Time.t;
+    h_p99 : Time.t;
+    h_p999 : Time.t;
+  }
+
+  val create : unit -> h
+  val add : h -> Time.t -> unit
+  val count : h -> int
+
+  val merge : h -> h -> h
+  (** Fresh histogram holding both inputs' observations. *)
+
+  val mean : h -> Time.t
+  val min : h -> Time.t
+  val max : h -> Time.t
+
+  val quantile : h -> float -> Time.t
+  (** Nearest-rank over bucket counts, reported as the bucket's upper
+      bound (clamped to the exact max).  Raises [Invalid_argument] when
+      empty, like {!Series.percentile}. *)
+
+  val summary : h -> summary option
+  (** [None] when empty. *)
+
+  val pp : Format.formatter -> h -> unit
 end

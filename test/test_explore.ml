@@ -20,9 +20,9 @@ let seeds = [ 1; 2; 3; 4; 5 ]
 
 let test_sweep_green () =
   let results = D.sweep ~seeds ~policies:[ D.Fifo; D.Random ] () in
-  (* 9 cross-backend scenarios x 3 backends + 2 SODA-only, x 5 seeds x 2
+  (* 13 cross-backend scenarios x 3 backends + 2 SODA-only, x 5 seeds x 2
      policies. *)
-  Alcotest.(check int) "run count" ((9 * 3 + 2) * 5 * 2) (List.length results);
+  Alcotest.(check int) "run count" ((13 * 3 + 2) * 5 * 2) (List.length results);
   List.iter
     (fun sc ->
       Alcotest.(check bool)
@@ -47,7 +47,7 @@ let test_sweep_green () =
 
 let test_sweep_jitter_green () =
   let results = D.sweep ~seeds:[ 1; 2 ] ~policies:[ D.Jitter ] () in
-  Alcotest.(check int) "run count" ((9 * 3 + 2) * 2) (List.length results);
+  Alcotest.(check int) "run count" ((13 * 3 + 2) * 2) (List.length results);
   Alcotest.(check int) "no failures under jitter" 0
     (List.length (D.failures results))
 
@@ -160,6 +160,7 @@ let broken_outcome =
     o_detail = "fixture";
     o_seed = 3;
     o_policy = "fifo";
+    o_latency = None;
     o_view = v;
   }
 

@@ -18,9 +18,19 @@ module BW = Harness.Backend_world
 
 (* ---- spec round-trip ------------------------------------------------- *)
 
-let spec_of_tuple (scenario, backend, seed, policy, plan, shards, legacy_trace)
+let spec_of_tuple
+    ((scenario, backend, seed, policy, plan, shards, legacy_trace), population)
     =
-  { Spec.scenario; backend; seed; policy; plan; shards; legacy_trace }
+  {
+    Spec.scenario;
+    backend;
+    seed;
+    policy;
+    plan;
+    population;
+    shards;
+    legacy_trace;
+  }
 
 let spec_arb =
   let open QCheck in
@@ -34,9 +44,7 @@ let spec_arb =
   make
     ~print:(fun t -> Spec.to_string (spec_of_tuple t))
     Gen.(
-      map
-        (fun (scenario, backend, seed, policy, plan, shards, legacy_trace) ->
-          (scenario, backend, seed, policy, plan, shards, legacy_trace))
+      pair
         (tup7 name_gen
            (oneof [ oneofl BW.names; name_gen ])
            small_signed_int
@@ -46,7 +54,22 @@ let spec_arb =
               :: List.map Option.some
                    ((Spec.Screen :: Spec.all_plans) @ Spec.targeted_plans)))
            (oneofl [ 1; 1; 2; 4; 8 ])
-           bool))
+           bool)
+        (* The population axis: round K/M values print with multipliers,
+           ragged ones as digits; all must round-trip. *)
+        (oneofl
+           [
+             None;
+             None;
+             Some 1;
+             Some 24;
+             Some 999;
+             Some 2000;
+             Some 64_000;
+             Some 123_456;
+             Some 1_000_000;
+             Some 2_500_000;
+           ]))
 
 let test_roundtrip =
   QCheck_alcotest.to_alcotest
@@ -96,7 +119,25 @@ let test_parse_forms () =
   Alcotest.(check string)
     "targeted legacy handle canonicalises"
     "quorum/soda/2/fifo@partition-majority"
-    (Spec.to_string (Spec.of_string_exn "quorum/soda/2/partition-majority"))
+    (Spec.to_string (Spec.of_string_exn "quorum/soda/2/partition-majority"));
+  (* The population axis parses with K/M multipliers, composes with the
+     other suffixes, and canonicalises. *)
+  Alcotest.(check check_spec)
+    "population suffix"
+    (Spec.v ~population:100_000 ~scenario:"wl-farm" ~backend:"chrysalis" 1)
+    (Spec.of_string_exn "wl-farm/chrysalis/1/fifo~n100K");
+  Alcotest.(check check_spec)
+    "population with plan, shards and trace"
+    (Spec.v ~plan:Spec.Mix ~population:2_000_000 ~shards:4 ~legacy_trace:true
+       ~scenario:"wl-tree" ~backend:"soda" 5)
+    (Spec.of_string_exn "wl-tree/soda/5/fifo@mix~n2M~s4~trace");
+  Alcotest.(check string)
+    "ragged population prints as digits" "wl-ring/charlotte/2/fifo~n1234"
+    (Spec.to_string
+       (Spec.v ~population:1234 ~scenario:"wl-ring" ~backend:"charlotte" 2));
+  Alcotest.(check string)
+    "sub-million K multiple keeps K" "wl-farm/soda/1/fifo~n1500K"
+    (Spec.to_string (Spec.of_string_exn "wl-farm/soda/1/fifo~n1500K"))
 
 let test_parse_errors () =
   let rejects s =
@@ -113,6 +154,10 @@ let test_parse_errors () =
       "move/soda/1/warp";
       "move/soda/1/fifo@meteor";
       "move/soda/1/fifo/extra";
+      "wl-farm/soda/1/fifo~n0";
+      "wl-farm/soda/1/fifo~nx";
+      "wl-farm/soda/1/fifo~n5X";
+      "wl-farm/soda/1/fifo~n-3";
     ]
 
 (* ---- the registry ----------------------------------------------------- *)
@@ -130,6 +175,10 @@ let test_registry () =
       "shard-rpc";
       "ring-election";
       "quorum";
+      "wl-farm";
+      "wl-farm-open";
+      "wl-ring";
+      "wl-tree";
       "hint-repair";
       "pair-pressure";
     ]
@@ -286,7 +335,15 @@ let golden_explore_summary =
    ring-election        fifo          6      0\n\
    ring-election        random        6      0\n\
    shard-rpc            fifo          6      0\n\
-   shard-rpc            random        6      0\n"
+   shard-rpc            random        6      0\n\
+   wl-farm              fifo          6      0\n\
+   wl-farm              random        6      0\n\
+   wl-farm-open         fifo          6      0\n\
+   wl-farm-open         random        6      0\n\
+   wl-ring              fifo          6      0\n\
+   wl-ring              random        6      0\n\
+   wl-tree              fifo          6      0\n\
+   wl-tree              random        6      0\n"
 
 (* Recaptured when screening timeouts gained the per-backend RTT floor:
    move under duplicate/mix on Charlotte now succeeds (the old captures
@@ -339,6 +396,10 @@ let golden_races_charlotte =
    shard-rpc            clean\n\
    ring-election        clean\n\
    quorum               clean\n\
+   wl-farm              clean\n\
+   wl-farm-open         clean\n\
+   wl-ring              clean\n\
+   wl-tree              clean\n\
    hint-repair          n/a on charlotte\n\
    pair-pressure        n/a on charlotte\n"
 
@@ -352,6 +413,10 @@ let golden_races_soda =
    shard-rpc            clean\n\
    ring-election        clean\n\
    quorum               clean\n\
+   wl-farm              clean\n\
+   wl-farm-open         clean\n\
+   wl-ring              clean\n\
+   wl-tree              clean\n\
    hint-repair          clean\n\
    pair-pressure        clean\n"
 

@@ -239,6 +239,7 @@ let synthetic_artifact ~scenario ~rule =
     duration = Sim.Time.zero;
     counters = [];
     events_hash = 0L;
+    latency = None;
   }
 
 let soundness_logic_tests =
@@ -306,9 +307,9 @@ let test_soundness_product () =
     Run.execute_many ~jobs product_specs |> List.filter_map Fun.id
   in
   let a1 = artifacts 1 in
-  (* 9 cross-backend scenarios x 3 backends + 2 SODA-only, x 2 seeds x
+  (* 13 cross-backend scenarios x 3 backends + 2 SODA-only, x 2 seeds x
      (clean + screen + 6 fault plans). *)
-  checki "product size" ((9 * 3 + 2) * 2 * 8) (List.length a1);
+  checki "product size" ((13 * 3 + 2) * 2 * 8) (List.length a1);
   Alcotest.(check (list string))
     "no soundness gaps at -j1" []
     (List.map gap_str (Run.Soundness.check a1));

@@ -392,6 +392,7 @@ let spec_arb =
             seed;
             policy;
             plan;
+            population = None;
             shards = 1;
             legacy_trace = false;
           })
